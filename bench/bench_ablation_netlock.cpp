@@ -1,0 +1,58 @@
+// Ablation: network lock granularity (paper Sec. 4.2.3/4.2.4).
+//
+// The same LCI thread-based message-rate benchmark under every lock layout
+// the backend analysis discusses:
+//   ibv/per_qp — a thread domain (own lock) per queue pair (LCI default),
+//   ibv/all_qp — one thread domain for all QPs of a device,
+//   ibv/none   — no thread domains: QPs share driver-owned uUAR locks,
+//                serializing sends across the whole fabric,
+//   ofi        — one endpoint lock for posts AND polls (cxi/verbs providers).
+//
+// Expected shape: per_qp >= all_qp > none for shared devices; with one
+// device per thread, per_qp and all_qp converge (the paper recommends
+// all_qp there); ofi trails because progress and posting collide on one
+// lock.
+#include <cstdio>
+
+#include "pingpong.hpp"
+
+namespace {
+
+void run_case(const char* name, lci::net::lock_model_t model,
+              lci::net::td_strategy_t strategy, bool dedicated,
+              long iterations) {
+  for (int threads : bench::pow2_up_to(bench::max_threads(), 2)) {
+    bench::pingpong_params_t params;
+    params.backend = lcw::backend_t::lci;
+    params.nranks = 2;
+    params.nthreads = threads;
+    params.dedicated = dedicated;
+    params.use_am = true;
+    params.msg_size = 8;
+    params.iterations = iterations;
+    params.fabric.lock_model = model;
+    params.fabric.td_strategy = strategy;
+    const auto result = bench::run_pingpong(params);
+    std::printf("%7d  %-12s  %9s  %9.4f\n", threads, name,
+                dedicated ? "dedicated" : "shared", result.mmsg_per_sec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const long iterations = bench::iters(2000);
+  std::printf(
+      "# Ablation: LCI message rate under the four network lock layouts\n");
+  bench::print_header("Network lock granularity",
+                      "threads  layout        resources  Mmsg/s");
+  using lm = lci::net::lock_model_t;
+  using td = lci::net::td_strategy_t;
+  for (const bool dedicated : {false, true}) {
+    run_case("ibv/per_qp", lm::ibv, td::per_qp, dedicated, iterations);
+    run_case("ibv/all_qp", lm::ibv, td::all_qp, dedicated, iterations);
+    run_case("ibv/none", lm::ibv, td::none, dedicated, iterations);
+    run_case("ofi", lm::ofi, td::per_qp, dedicated, iterations);
+  }
+  return 0;
+}

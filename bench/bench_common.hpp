@@ -1,0 +1,88 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each binary prints the same rows/series the paper
+// reports; absolute numbers are not comparable to the paper's clusters (the
+// substrate is a simulated fabric on whatever host runs this), but the shape
+// — who wins, by roughly what factor, where crossovers fall — is the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace bench {
+
+inline long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+// Global scale knobs: LCI_BENCH_MAX_THREADS caps thread sweeps (the paper
+// sweeps to 128 threads on 128-core nodes; pick what your host can bear),
+// LCI_BENCH_ITERS scales per-thread iteration counts.
+inline int max_threads() {
+  return static_cast<int>(env_long("LCI_BENCH_MAX_THREADS", 8));
+}
+inline long iters(long dflt) {
+  const long scale = env_long("LCI_BENCH_ITERS", 0);
+  return scale > 0 ? scale : dflt;
+}
+
+// Optional wire timing model for every bench: LCI_BENCH_LATENCY_US and
+// LCI_BENCH_BW_GBPS (0 = structural model only).
+inline void apply_net_env(lci::net::config_t* config) {
+  config->latency_us = env_double("LCI_BENCH_LATENCY_US", config->latency_us);
+  config->bandwidth_gbps =
+      env_double("LCI_BENCH_BW_GBPS", config->bandwidth_gbps);
+}
+
+inline double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Barrier for in-process benchmark threads (not the LCI barrier: benchmark
+// harness threads synchronize out of band, like the paper's LCW harness).
+class thread_barrier_t {
+ public:
+  explicit thread_barrier_t(int count) : count_(count) {}
+  void arrive_and_wait() {
+    const int generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == generation)
+        std::this_thread::yield();
+    }
+  }
+
+ private:
+  const int count_;
+  std::atomic<int> arrived_{0};
+  std::atomic<int> generation_{0};
+};
+
+inline std::vector<int> pow2_up_to(int max, int from = 1) {
+  std::vector<int> values;
+  for (int v = from; v <= max; v *= 2) values.push_back(v);
+  return values;
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n## %s\n%s\n", title, columns);
+}
+
+}  // namespace bench

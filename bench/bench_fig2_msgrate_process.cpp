@@ -1,0 +1,46 @@
+// Figure 2: process-based message-rate microbenchmark.
+//
+// Paper setup: two nodes, one process per core, one thread per process, 8 B
+// messages, 100k iterations per process; uni-directional message rate as the
+// process count per node sweeps 1..128. LCI is compared against MPI and
+// GASNet-EX (all driven through LCW).
+//
+// Reproduction: "processes" are single-threaded simulated ranks; the sweep is
+// capped by LCI_BENCH_MAX_THREADS (default 8 per "node" -> 16 ranks) so the
+// host is not hopelessly oversubscribed. Expected shape (paper Fig. 2): all
+// libraries scale comparably in process mode — this is the baseline the
+// thread-based Fig. 3 is judged against.
+#include <cstdio>
+
+#include "pingpong.hpp"
+
+int main() {
+  const int max_procs = bench::max_threads();
+  const long iterations = bench::iters(2000);
+  const lcw::backend_t backends[] = {lcw::backend_t::lci, lcw::backend_t::mpi,
+                                     lcw::backend_t::gex};
+
+  std::printf(
+      "# Fig.2 reproduction: process-based message rate (8B AMs, ping-pong)\n"
+      "# 'processes' = single-threaded simulated ranks per node (2 nodes)\n"
+      "# iterations/process = %ld\n",
+      iterations);
+  bench::print_header("Process-based message rate",
+                      "procs/node  backend  Mmsg/s  (aggregate uni-dir)");
+  for (int procs : bench::pow2_up_to(max_procs)) {
+    for (const auto backend : backends) {
+      bench::pingpong_params_t params;
+      params.backend = backend;
+      params.nranks = 2 * procs;
+      params.nthreads = 1;
+      params.dedicated = false;
+      params.use_am = true;
+      params.msg_size = 8;
+      params.iterations = iterations;
+      const auto result = bench::run_pingpong(params);
+      std::printf("%10d  %7s  %9.4f\n", procs, lcw::to_string(backend),
+                  result.mmsg_per_sec);
+    }
+  }
+  return 0;
+}

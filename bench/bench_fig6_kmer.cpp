@@ -1,0 +1,58 @@
+// Figure 6: k-mer counting strong scaling (paper Sec. 5.3).
+//
+// Paper setup: human chr14 (7.75 GB, 37M reads, k=51), 2 processes per node
+// to avoid inter-socket overheads, 8 KB aggregation buffers, strong scaling
+// from 1 node (128 cores) to 32 nodes; multithreaded implementation with
+// LCI vs GASNet-EX backends vs the single-threaded UPC++-style reference
+// (HipMer layout: one process per core).
+//
+// Reproduction: synthetic reads (deterministic by seed; see DESIGN.md),
+// k=21, "nodes" scaled down to what the host can run. Expected shape
+// (paper Fig. 6): the multithreaded implementation beats the one-process-
+// per-core reference as scale grows (better load balance, fewer aggregation
+// targets), and the LCI backend beats the GASNet-EX backend.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kmer/pipeline.hpp"
+
+int main() {
+  const int threads_per_rank = std::max(2, bench::max_threads() / 2);
+  const long genome = bench::iters(200000);  // reference genome length
+
+  kmer::pipeline_config_t base;
+  base.genome.genome_length = static_cast<std::size_t>(genome);
+  base.genome.read_length = 100;
+  base.genome.coverage = 8;
+  base.genome.error_rate = 0.01;
+  base.k = 21;
+  base.nthreads = threads_per_rank;
+  base.agg_buffer_bytes = 8192;
+  bench::apply_net_env(&base.fabric);
+
+  std::printf(
+      "# Fig.6 reproduction: k-mer counting strong scaling\n"
+      "# synthetic genome %ldbp, cov %.0fx, err %.2f, k=%d; 2 ranks/node, "
+      "%d threads/rank\n"
+      "# ref_st = single-threaded reference layout (1 rank per 'core')\n",
+      genome, base.genome.coverage, base.genome.error_rate, base.k,
+      threads_per_rank);
+  bench::print_header("K-mer counting", "nodes  mode    seconds  Mkmers/s");
+
+  const int max_nodes = std::max(1, bench::max_threads() / 4);
+  for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+    for (const auto mode :
+         {kmer::pipeline_mode_t::lci_mt, kmer::pipeline_mode_t::gex_mt,
+          kmer::pipeline_mode_t::ref_st}) {
+      kmer::pipeline_config_t config = base;
+      config.mode = mode;
+      config.nranks = 2 * nodes;  // 2 processes per node (paper setup)
+      const auto result = kmer::run_pipeline(config);
+      std::printf("%5d  %6s  %7.3f  %8.3f\n", nodes,
+                  kmer::to_string(mode), result.seconds,
+                  static_cast<double>(result.total_kmers) / result.seconds /
+                      1e6);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Google-benchmark microbenchmarks of the runtime's primitive operations —
+// the per-op costs underneath the figure-level harnesses: posting-path
+// pieces (matching-engine insert, packet get/put, completion signal/pop) and
+// full single-rank post/progress round trips. Complements bench_fig5 (which
+// reports the paper's thread-sweep format) with statistically managed
+// per-operation timings.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/comp_impl.hpp"
+#include "core/lci.hpp"
+#include "core/matching.hpp"
+#include "core/packet.hpp"
+
+namespace {
+
+void BM_MatchingInsertPair(benchmark::State& state) {
+  lci::detail::matching_engine_impl_t engine(
+      static_cast<std::size_t>(state.range(0)));
+  using me = lci::detail::matching_engine_impl_t;
+  int dummy;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key = me::default_make_key(
+        static_cast<int>(i % 61), static_cast<lci::tag_t>(i & 0xffff),
+        lci::matching_policy_t::rank_tag);
+    benchmark::DoNotOptimize(engine.insert(key, &dummy, me::type_t::send));
+    benchmark::DoNotOptimize(engine.insert(key, &dummy, me::type_t::recv));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MatchingInsertPair)->Arg(64)->Arg(65536);
+
+void BM_PacketGetPut(benchmark::State& state) {
+  lci::detail::packet_pool_impl_t pool(1024, 512);
+  for (auto _ : state) {
+    lci::detail::packet_t* packet = pool.get();
+    benchmark::DoNotOptimize(packet);
+    pool.put(packet);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PacketGetPut);
+
+void BM_CqSignalPop(benchmark::State& state) {
+  lci::detail::cq_impl_t cq(
+      state.range(0) == 0 ? lci::cq_type_t::lcrq : lci::cq_type_t::array,
+      65536);
+  lci::status_t status;
+  status.rank = 1;
+  lci::status_t out;
+  for (auto _ : state) {
+    cq.signal(status);
+    benchmark::DoNotOptimize(cq.pop(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CqSignalPop)->Arg(0)->Arg(1);  // 0 = lcrq, 1 = array
+
+void BM_SyncSignalTest(benchmark::State& state) {
+  lci::detail::sync_impl_t sync(1);
+  lci::status_t status, out;
+  for (auto _ : state) {
+    sync.signal(status);
+    benchmark::DoNotOptimize(sync.test(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SyncSignalTest);
+
+// Full LCI self-send round trip on one simulated rank: post_send +
+// post_recv + progress until completion. Measures the end-to-end software
+// path (posting, wire, delivery, matching, completion signaling).
+void BM_SelfSendRoundTrip(benchmark::State& state) {
+  lci::sim::world_t world(1);
+  lci::sim::scoped_binding_t bound(world.binding(0));
+  lci::runtime_attr_t attr;
+  attr.matching_engine_buckets = 1024;
+  lci::g_runtime_init(attr);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  std::vector<char> out(size, 'x'), in(size);
+  lci::comp_t sync = lci::alloc_sync(1);
+  for (auto _ : state) {
+    lci::status_t rs = lci::post_recv(0, in.data(), size, 1, sync);
+    lci::status_t ss;
+    do {
+      ss = lci::post_send(0, out.data(), size, 1, {});
+      lci::progress();
+    } while (ss.error.is_retry());
+    if (rs.error.is_posted()) {
+      lci::status_t tmp;
+      while (!lci::sync_test(sync, &tmp)) lci::progress();
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(size));
+  lci::free_comp(&sync);
+  lci::g_runtime_fina();
+}
+BENCHMARK(BM_SelfSendRoundTrip)->Arg(8)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

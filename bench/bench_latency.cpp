@@ -1,0 +1,101 @@
+// Latency microbenchmark (companion to the paper's rate/bandwidth figures:
+// Sec. 5.2 argues message rate and bandwidth matter more than latency for
+// asynchronous multithreaded applications, but the number is still worth
+// printing). Single-threaded 8 B AM ping-pong round-trip time per backend,
+// reported as median / p99 over the sample set.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/lci.hpp"
+#include "lcw/lcw.hpp"
+
+namespace {
+
+struct latency_result_t {
+  double median_us = 0;
+  double p99_us = 0;
+};
+
+latency_result_t run_latency(lcw::backend_t backend, long samples,
+                             const lci::net::config_t& fabric) {
+  std::vector<double> rtt(static_cast<std::size_t>(samples));
+  std::atomic<int> ready{0};
+  lci::sim::spawn(
+      2,
+      [&](int rank) {
+        lcw::config_t config;
+        config.ndevices = 1;
+        config.max_am_size = 64;
+        auto ctx = lcw::alloc_context(backend, config);
+        ready.fetch_add(1);
+        while (ready.load() < 2) std::this_thread::yield();
+        lcw::device_t* dev = ctx->device(0);
+        const int peer = 1 - rank;
+        uint64_t token = 0;
+
+        auto send_one = [&] {
+          while (dev->post_am(peer, &token, sizeof(token), 0) ==
+                 lcw::post_t::retry) {
+            if (!dev->do_progress()) std::this_thread::yield();
+          }
+        };
+        auto recv_one = [&] {
+          lcw::request_t req;
+          while (!dev->poll_recv(&req)) {
+            // Oversubscribed host: hand the core to the peer promptly.
+            if (!dev->do_progress()) std::this_thread::yield();
+          }
+          std::free(req.buffer);
+          lcw::request_t sreq;
+          while (dev->poll_send(&sreq)) {
+          }
+        };
+
+        for (long i = 0; i < samples; ++i) {
+          if (rank == 0) {
+            const double t0 = bench::now_sec();
+            send_one();
+            recv_one();
+            rtt[static_cast<std::size_t>(i)] =
+                (bench::now_sec() - t0) * 1e6;
+          } else {
+            recv_one();
+            send_one();
+          }
+        }
+        for (int i = 0; i < 500; ++i) dev->do_progress();
+      },
+      fabric);
+
+  std::sort(rtt.begin(), rtt.end());
+  latency_result_t result;
+  result.median_us = rtt[rtt.size() / 2];
+  result.p99_us = rtt[std::min(rtt.size() - 1,
+                               static_cast<std::size_t>(
+                                   static_cast<double>(rtt.size()) * 0.99))];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const long samples = bench::iters(2000);
+  lci::net::config_t fabric;
+  bench::apply_net_env(&fabric);
+  std::printf(
+      "# Latency companion benchmark: 8B AM ping-pong round-trip time\n"
+      "# %ld samples per backend, single thread per rank\n",
+      samples);
+  bench::print_header("Round-trip latency",
+                      "backend  median(us)   p99(us)");
+  for (const auto backend :
+       {lcw::backend_t::lci, lcw::backend_t::mpi, lcw::backend_t::gex}) {
+    const auto result = run_latency(backend, samples, fabric);
+    std::printf("%7s  %10.2f  %8.2f\n", lcw::to_string(backend),
+                result.median_us, result.p99_us);
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Ping-pong driver behind the Fig. 2/3/4 microbenchmarks (paper Sec. 5.2).
+//
+// R simulated ranks (R even: ranks [0,R/2) are "node A", the rest "node B"),
+// T threads per rank. Each thread pairs with the same-index thread of the
+// rank R/2 away and exchanges `iterations` messages with it: send one, then
+// send again for every arrival observed. Arrivals are counted rank-globally,
+// so the pattern works both in dedicated-resource mode (device per thread)
+// and shared-resource mode (one device for all threads), where completions
+// land in a shared queue and are fungible across threads.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/lci.hpp"
+#include "lcw/lcw.hpp"
+
+namespace bench {
+
+struct pingpong_params_t {
+  lcw::backend_t backend = lcw::backend_t::lci;
+  std::size_t eager_size = 0;  // align protocol crossovers across backends
+  int nranks = 2;            // total ranks (even)
+  int nthreads = 1;          // threads per rank
+  bool dedicated = false;    // one LCW device per thread
+  bool use_am = true;        // active messages vs tagged send-receive
+  std::size_t msg_size = 8;
+  long iterations = 1000;    // messages sent per thread
+  lci::net::config_t fabric{};
+};
+
+struct pingpong_result_t {
+  double seconds = 0;
+  double mmsg_per_sec = 0;   // aggregate uni-directional
+  double gb_per_sec = 0;     // aggregate uni-directional
+};
+
+inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
+  pingpong_params_t p = params_in;
+  apply_net_env(&p.fabric);
+  const int R = p.nranks;
+  const int T = p.nthreads;
+  const long total_msgs_per_rank = static_cast<long>(T) * p.iterations;
+  const int participants = R * T;
+
+  thread_barrier_t start_barrier(participants);
+  std::vector<double> start_times(static_cast<std::size_t>(participants));
+  std::vector<double> end_times(static_cast<std::size_t>(participants));
+
+  lci::sim::spawn(
+      R,
+      [&](int rank) {
+        lcw::config_t config;
+        config.ndevices = p.dedicated ? T : 1;
+        // AM payloads must fit the backends' eager/medium limits; tagged
+        // send-receive handles any size via rendezvous, so don't inflate
+        // the packet pools for it.
+        config.max_am_size =
+            p.use_am ? std::max<std::size_t>(p.msg_size, 64) : 4096;
+        config.eager_size = p.eager_size;
+        config.enable_am = p.use_am;
+        auto ctx = lcw::alloc_context(p.backend, config);
+        const int peer = (rank + R / 2) % R;
+        auto binding = lci::sim::current_binding();
+
+        std::atomic<long> arrivals{0};
+        std::atomic<long> recv_posts{0};
+        // Rank-wide send credits (ping-pong flow control). Shared-resource
+        // mode pops completions from one shared queue, so an arrival may be
+        // observed by any thread — credits must be fungible across threads
+        // or a thread that never pops starves and the ranks deadlock.
+        std::atomic<long> credits{T};
+        // Posted sends whose completion has not been observed; like
+        // arrivals, completions are fungible across threads in shared mode,
+        // so the counter is rank-global.
+        std::atomic<long> outstanding{0};
+        constexpr int recv_window = 4;
+
+        auto worker = [&](int t) {
+          lci::sim::scoped_binding_t bound(binding);
+          lcw::device_t* dev = ctx->device(p.dedicated ? t : 0);
+          const int tag = p.dedicated ? t : 0;
+          const int gid = rank * T + t;
+
+          std::vector<char> out(p.msg_size, static_cast<char>(rank + 1));
+          // Receive budget: exactly as many receives as messages will
+          // arrive. In dedicated mode recvs carry per-thread tags and are
+          // NOT fungible across threads, so the budget must be per-thread
+          // (a shared counter would let a fast thread consume re-posts a
+          // slow thread's tag still needs — deadlock). Shared mode pops are
+          // fungible, so one rank-global counter is exact there.
+          long my_recv_budget = p.iterations;  // dedicated: per-thread
+          auto take_recv_budget = [&]() {
+            if (p.dedicated) return my_recv_budget-- > 0;
+            return recv_posts.fetch_add(1) < total_msgs_per_rank;
+          };
+          // Receive buffers owned by this thread; ownership transfers with
+          // the completion (the popper re-posts the buffer it popped).
+          std::vector<std::unique_ptr<char[]>> bufs;
+          if (!p.use_am) {
+            for (int w = 0; w < recv_window; ++w) {
+              bufs.push_back(std::make_unique<char[]>(p.msg_size));
+              if (take_recv_budget()) {
+                while (dev->post_recv(peer, bufs.back().get(), p.msg_size,
+                                      tag) == lcw::post_t::retry)
+                  dev->do_progress();
+              }
+            }
+          }
+
+          start_barrier.arrive_and_wait();
+          start_times[static_cast<std::size_t>(gid)] = now_sec();
+
+          auto try_take_credit = [&]() {
+            long c = credits.load(std::memory_order_relaxed);
+            while (c > 0) {
+              if (credits.compare_exchange_weak(c, c - 1,
+                                                std::memory_order_relaxed))
+                return true;
+            }
+            return false;
+          };
+
+          long sent = 0;
+          // Exit only when every posted send completed: a rendezvous send
+          // reads out[] until its completion signals.
+          while (sent < p.iterations ||
+                 outstanding.load(std::memory_order_relaxed) > 0 ||
+                 arrivals.load(std::memory_order_relaxed) <
+                     total_msgs_per_rank) {
+            bool did_something = false;
+            while (sent < p.iterations && try_take_credit()) {
+              const auto r =
+                  p.use_am ? dev->post_am(peer, out.data(), p.msg_size, tag)
+                           : dev->post_send(peer, out.data(), p.msg_size, tag);
+              if (r == lcw::post_t::retry) {
+                credits.fetch_add(1, std::memory_order_relaxed);
+                break;
+              }
+              if (r == lcw::post_t::posted)
+                outstanding.fetch_add(1, std::memory_order_relaxed);
+              ++sent;
+              did_something = true;
+            }
+            did_something |= dev->do_progress();
+            lcw::request_t req;
+            while (dev->poll_recv(&req)) {
+              did_something = true;
+              arrivals.fetch_add(1, std::memory_order_relaxed);
+              credits.fetch_add(1, std::memory_order_relaxed);
+              if (p.use_am) {
+                std::free(req.buffer);
+              } else if (take_recv_budget()) {
+                while (dev->post_recv(peer, req.buffer, p.msg_size, tag) ==
+                       lcw::post_t::retry)
+                  dev->do_progress();
+              }
+            }
+            while (dev->poll_send(&req)) {
+              did_something = true;
+              outstanding.fetch_sub(1, std::memory_order_relaxed);
+            }
+            // Oversubscribed hosts: hand the core to the peer instead of
+            // burning the rest of the scheduler quantum polling.
+            if (!did_something) std::this_thread::yield();
+          }
+          end_times[static_cast<std::size_t>(gid)] = now_sec();
+        };
+
+        std::vector<std::thread> threads;
+        for (int t = 1; t < T; ++t) threads.emplace_back(worker, t);
+        worker(0);
+        for (auto& th : threads) th.join();
+        // Drain stragglers (local send completions) before teardown.
+        for (int i = 0; i < 100; ++i)
+          for (int d = 0; d < ctx->ndevices(); ++d)
+            ctx->device(d)->do_progress();
+      },
+      p.fabric);
+
+  double t0 = start_times[0], t1 = end_times[0];
+  for (int i = 1; i < participants; ++i) {
+    t0 = std::min(t0, start_times[static_cast<std::size_t>(i)]);
+    t1 = std::max(t1, end_times[static_cast<std::size_t>(i)]);
+  }
+  pingpong_result_t result;
+  result.seconds = t1 - t0;
+  const double total_uni_msgs =
+      static_cast<double>(total_msgs_per_rank) * (R / 2);
+  result.mmsg_per_sec = total_uni_msgs / result.seconds / 1e6;
+  result.gb_per_sec = total_uni_msgs * static_cast<double>(p.msg_size) /
+                      result.seconds / 1e9;
+  return result;
+}
+
+}  // namespace bench

@@ -1,0 +1,192 @@
+// iRPCLib — the paper's Listing 2, executable.
+//
+// The worked example of Sec. 3.2: an LCI backend for an imaginary RPC
+// library. The upper layer registers RPC handlers by index and serializes
+// arguments; the backend layer (below) ships (index, payload) to the target
+// rank and delivers incoming RPCs back up. All threads produce and consume
+// communication and periodically call do_background_work().
+//
+// The code follows Listing 2 line by line — shared send-completion handler,
+// shared receive completion queue + rcomp, one device per thread, and the
+// done/posted/retry triage in send_msg — with one adaptation: the listing's
+// process-global variables live in a per-rank struct here, because simulated
+// ranks share one OS process (a real deployment has one process per rank, so
+// the listing's globals are naturally per-rank).
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/lci.hpp"
+
+struct irpclib_t {
+  // shared resources (per rank)
+  lci::comp_t shandler;  // send completion handler
+  lci::comp_t rcq;       // receive completion queue
+  lci::rcomp_t rcomp;    // remote completion handle for rcq
+  // thread-local resources
+  static thread_local lci::device_t device;
+
+  // callback for source-side completion
+  static void send_cb(const lci::status_t& status) {
+    // free the message buffer once the send is done
+    std::free(status.buffer.base);
+  }
+
+  void global_init(int* rank_me, int* rank_n) {
+    lci::g_runtime_init();
+    *rank_me = lci::get_rank_me();
+    *rank_n = lci::get_rank_n();
+    shandler = lci::alloc_handler(send_cb);
+    rcq = lci::alloc_cq();
+    rcomp = lci::register_rcomp(rcq);
+  }
+
+  void global_fina() {
+    lci::deregister_rcomp(rcomp);
+    lci::free_comp(&shandler);
+    lci::free_comp(&rcq);
+    lci::g_runtime_fina();
+  }
+
+  void thread_init() { device = lci::alloc_device(); }
+
+  void thread_fina() { lci::free_device(&device); }
+
+  bool send_msg(int rank, void* buf, std::size_t s, lci::tag_t tag) {
+    lci::status_t status = lci::post_am_x(rank, buf, s, shandler, rcomp)
+                               .tag(tag)
+                               .device(device)();
+    if (status.error.is_retry())
+      return false;  // the send failed temporarily
+    if (status.error.is_done())
+      send_cb(status);  // the send immediately completed
+    else
+      assert(status.error.is_posted());
+    return true;  // the send succeeded
+  }
+
+  // msg_t is a message descriptor type defined in the upper layer
+  struct msg_t {
+    int rank;
+    lci::tag_t tag;
+    void* buf;
+    std::size_t size;
+  };
+
+  bool poll_msg(msg_t* msg) {
+    lci::status_t status = lci::cq_pop(rcq);
+    if (status.error.is_done()) {
+      lci::buffer_t buf = status.get_buffer();
+      *msg = {
+          status.rank,
+          status.tag,
+          buf.base,
+          buf.size,
+      };
+      // the upper layer is responsible for freeing the
+      // buffer once it consumes the message
+      return true;
+    }
+    assert(status.error.is_retry());
+    return false;
+  }
+
+  bool do_background_work() {
+    return lci::progress_x().device(device)();
+  }
+};
+
+thread_local lci::device_t irpclib_t::device;
+
+// ---- upper layer: a tiny demo RPC application ------------------------------
+//
+// RPC 0: "greet" — prints the payload.  RPC 1: "add" — sums two ints and
+// prints the result. The RPC index travels in the LCI tag field.
+
+int main() {
+  constexpr int nranks = 2;
+  constexpr int nthreads = 3;
+  constexpr int rpcs_per_thread = 5;
+
+  lci::sim::spawn(nranks, [&](int) {
+    irpclib_t backend;
+    int rank_me = 0, rank_n = 0;
+    backend.global_init(&rank_me, &rank_n);
+    const int peer = (rank_me + 1) % rank_n;
+    std::atomic<int> served{0};
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    const int expect_served = nthreads * rpcs_per_thread;
+
+    auto binding = lci::sim::current_binding();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t) {
+      threads.emplace_back([&, t] {
+        lci::sim::scoped_binding_t bound(binding);
+        backend.thread_init();
+        // Devices steer incoming traffic: wait until every thread on every
+        // rank has allocated its device before the first send, or early
+        // messages would land on devices nobody progresses.
+        ready.fetch_add(1, std::memory_order_release);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        int sent = 0;
+        while (sent < rpcs_per_thread ||
+               served.load(std::memory_order_relaxed) < expect_served) {
+          if (sent < rpcs_per_thread) {
+            // Serialize an RPC: alternate between greet and add.
+            const bool greet = (sent % 2) == 0;
+            char* payload = nullptr;
+            std::size_t size = 0;
+            if (greet) {
+              size = 64;
+              payload = static_cast<char*>(std::malloc(size));
+              snprintf(payload, size, "greetings from rank %d thread %d",
+                       rank_me, t);
+            } else {
+              size = 2 * sizeof(int);
+              payload = static_cast<char*>(std::malloc(size));
+              const int args[2] = {rank_me * 100, t};
+              std::memcpy(payload, args, size);
+            }
+            if (backend.send_msg(peer, payload, size, greet ? 0 : 1))
+              ++sent;
+            else
+              std::free(payload);  // retry later with a fresh buffer
+          }
+          backend.do_background_work();
+          irpclib_t::msg_t msg;
+          while (backend.poll_msg(&msg)) {
+            if (msg.tag == 0) {
+              std::printf("[rank %d] greet rpc from %d: \"%s\"\n", rank_me,
+                          msg.rank, static_cast<char*>(msg.buf));
+            } else {
+              int args[2];
+              std::memcpy(args, msg.buf, sizeof(args));
+              std::printf("[rank %d] add rpc from %d: %d + %d = %d\n",
+                          rank_me, msg.rank, args[0], args[1],
+                          args[0] + args[1]);
+            }
+            std::free(msg.buf);
+            served.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Drain until the peer is done consuming our RPCs too.
+        for (int i = 0; i < 500; ++i) backend.do_background_work();
+        backend.thread_fina();
+      });
+    }
+    // Release the workers once all ranks finished device setup.
+    while (ready.load(std::memory_order_acquire) != nthreads)
+      std::this_thread::yield();
+    lci::barrier();  // cross-rank: everyone's devices exist
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    lci::barrier();
+    backend.global_fina();
+  });
+  return 0;
+}

@@ -1,0 +1,216 @@
+// Futures for minihpx — the continuation-passing layer HPX applications are
+// written against (the paper's Sec. 5.4 workload is "a set of fine-grained
+// tasks and task dependencies"; futures are how HPX expresses those
+// dependencies).
+//
+// Deliberately small: promise/future with value or exception, inline or
+// scheduled continuations (`then`), `async` on a scheduler, and `when_all`.
+// get() spins with yield — inside a worker, prefer then() so the worker
+// keeps executing tasks instead of blocking.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "amt/minihpx.hpp"
+#include "util/spinlock.hpp"
+
+namespace minihpx {
+
+template <typename T>
+class promise_t;
+
+namespace detail {
+
+template <typename T>
+struct shared_state_t {
+  lci::util::spinlock_t lock;
+  std::optional<T> value;                 // guarded by lock until ready
+  std::exception_ptr error;               // guarded by lock until ready
+  std::atomic<bool> ready{false};
+  std::vector<std::function<void()>> continuations;  // guarded by lock
+
+  // Publishes the result and returns the continuations to run.
+  std::vector<std::function<void()>> publish(std::optional<T> v,
+                                             std::exception_ptr e) {
+    std::vector<std::function<void()>> to_run;
+    {
+      std::lock_guard<lci::util::spinlock_t> guard(lock);
+      if (ready.load(std::memory_order_relaxed))
+        throw std::logic_error("promise already satisfied");
+      value = std::move(v);
+      error = e;
+      to_run.swap(continuations);
+      ready.store(true, std::memory_order_release);
+    }
+    return to_run;
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class future_t {
+ public:
+  future_t() = default;
+  explicit future_t(std::shared_ptr<detail::shared_state_t<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool is_ready() const {
+    return state_ != nullptr &&
+           state_->ready.load(std::memory_order_acquire);
+  }
+
+  // Blocking get (spin+yield). Rethrows a stored exception.
+  T get() const {
+    if (!state_) throw std::logic_error("get() on an invalid future");
+    while (!state_->ready.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    if (state_->error) std::rethrow_exception(state_->error);
+    return *state_->value;
+  }
+
+  // Attaches a continuation fn(T) -> U; returns the future of its result.
+  // Runs inline if already ready, inline at set_value time otherwise — or as
+  // a scheduled task when a scheduler is given (the AMT style: completions
+  // spawn work instead of blocking anybody).
+  template <typename Fn>
+  auto then(Fn fn, scheduler_t* scheduler = nullptr) const
+      -> future_t<std::invoke_result_t<Fn, T>> {
+    using U = std::invoke_result_t<Fn, T>;
+    if (!state_) throw std::logic_error("then() on an invalid future");
+    auto next = std::make_shared<detail::shared_state_t<U>>();
+    auto state = state_;
+    auto run = [state, next, fn = std::move(fn)]() mutable {
+      std::vector<std::function<void()>> to_run;
+      try {
+        if (state->error) {
+          to_run = next->publish(std::nullopt, state->error);
+        } else {
+          to_run = next->publish(fn(*state->value), nullptr);
+        }
+      } catch (...) {
+        to_run = next->publish(std::nullopt, std::current_exception());
+      }
+      for (auto& c : to_run) c();
+    };
+
+    bool run_now = false;
+    {
+      std::lock_guard<lci::util::spinlock_t> guard(state_->lock);
+      if (state_->ready.load(std::memory_order_acquire)) {
+        run_now = true;
+      } else if (scheduler != nullptr) {
+        state_->continuations.push_back(
+            [scheduler, run]() mutable { scheduler->spawn(run); });
+      } else {
+        state_->continuations.push_back(run);
+      }
+    }
+    if (run_now) {
+      if (scheduler != nullptr)
+        scheduler->spawn(run);
+      else
+        run();
+    }
+    return future_t<U>(next);
+  }
+
+ private:
+  std::shared_ptr<detail::shared_state_t<T>> state_;
+};
+
+template <typename T>
+class promise_t {
+ public:
+  promise_t() : state_(std::make_shared<detail::shared_state_t<T>>()) {}
+
+  future_t<T> get_future() const { return future_t<T>(state_); }
+
+  void set_value(T value) {
+    auto to_run = state_->publish(std::move(value), nullptr);
+    for (auto& c : to_run) c();
+  }
+
+  void set_exception(std::exception_ptr error) {
+    auto to_run = state_->publish(std::nullopt, error);
+    for (auto& c : to_run) c();
+  }
+
+ private:
+  std::shared_ptr<detail::shared_state_t<T>> state_;
+};
+
+template <typename T>
+future_t<T> make_ready_future(T value) {
+  promise_t<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+// Runs fn() as a task on the scheduler; the returned future becomes ready
+// with its result (or exception).
+template <typename Fn>
+auto async(scheduler_t& scheduler, Fn fn)
+    -> future_t<std::invoke_result_t<Fn>> {
+  using T = std::invoke_result_t<Fn>;
+  promise_t<T> promise;
+  auto future = promise.get_future();
+  scheduler.spawn([promise, fn = std::move(fn)]() mutable {
+    try {
+      promise.set_value(fn());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+// Future of all results, ready when every input is (collected by a shared
+// atomic countdown; order of `futures` preserved in the result).
+// Limitation: an input that completes with an exception leaves the gathered
+// future pending — handle errors with then() before gathering.
+template <typename T>
+future_t<std::vector<T>> when_all(std::vector<future_t<T>> futures,
+                                  scheduler_t* scheduler = nullptr) {
+  struct gather_t {
+    promise_t<std::vector<T>> promise;
+    std::vector<std::optional<T>> slots;
+    std::atomic<std::size_t> remaining;
+    lci::util::spinlock_t error_lock;
+    std::exception_ptr first_error;
+  };
+  auto gather = std::make_shared<gather_t>();
+  gather->slots.resize(futures.size());
+  gather->remaining.store(futures.size(), std::memory_order_relaxed);
+  if (futures.empty()) {
+    gather->promise.set_value({});
+    return gather->promise.get_future();
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    futures[i].then(
+        [gather, i](T value) {
+          gather->slots[i] = std::move(value);
+          if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            std::vector<T> all;
+            all.reserve(gather->slots.size());
+            for (auto& slot : gather->slots) all.push_back(std::move(*slot));
+            gather->promise.set_value(std::move(all));
+          }
+          return 0;  // then() needs a value; discarded
+        },
+        scheduler);
+  }
+  return gather->promise.get_future();
+}
+
+}  // namespace minihpx

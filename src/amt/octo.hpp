@@ -1,0 +1,59 @@
+// octo — an Octo-Tiger-like octree mini-application on minihpx (the Fig. 7
+// workload; see DESIGN.md substitutions).
+//
+// Octo-Tiger evolves stellar systems on an adaptive octree of 8^3 subgrids
+// with fully asynchronous task execution and communication overlap. This
+// mini-app keeps the communication-relevant structure:
+//  * a 3D arrangement of fixed-size subgrids distributed block-wise over
+//    ranks (the fixed-depth octree leaf level);
+//  * per timestep, every subgrid exchanges its 6 ghost faces with its
+//    neighbors — same-rank neighbors by direct copy, remote neighbors by
+//    parcel — and runs a 7-point stencil update as a task once all faces
+//    for its step have arrived;
+//  * subgrids advance asynchronously (a subgrid may start step s+1 while a
+//    neighbor is still in step s; double-buffered ghost slots bound the skew
+//    to one step), so many fine-grained parcels from many worker threads are
+//    in flight concurrently — the regime Fig. 7 measures;
+//  * an upward octree reduction of a scalar per step (total mass analogue),
+//    used as the determinism checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lcw/lcw.hpp"
+#include "net/net.hpp"
+
+namespace octo {
+
+struct config_t {
+  int grid_dim = 4;        // subgrids per side (total = grid_dim^3)
+  int subgrid_dim = 8;     // cells per subgrid side (Octo-Tiger uses 8)
+  int steps = 4;
+  int nranks = 2;
+  int nthreads = 2;        // worker threads per rank
+  lcw::backend_t backend = lcw::backend_t::lci;
+  int ndevices = 1;        // devices/VCIs per rank (Fig. 7's tuning knob)
+  lci::net::config_t fabric{};  // simulated-fabric parameters
+};
+
+struct result_t {
+  double seconds = 0;
+  double seconds_per_step = 0;
+  double checksum = 0;       // deterministic across backends & rank counts
+  std::size_t parcels = 0;   // total remote face parcels
+  // Per-step total mass from the in-band octree reduction (leaf subgrids ->
+  // rank partials -> binary tree over ranks -> rank 0). Deterministic for a
+  // fixed rank count; across rank counts it differs only by floating-point
+  // summation order.
+  std::vector<double> step_mass;
+};
+
+// Runs the mini-app on a fresh simulated world.
+result_t run(const config_t& config);
+
+// Single-rank, single-thread reference (no communication) for verification.
+result_t run_serial(const config_t& config);
+
+}  // namespace octo

@@ -1,0 +1,152 @@
+#include "baseline/simgex.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/lci.hpp"
+#include "core/sim_internal.hpp"
+#include "util/backoff.hpp"
+#include "util/spinlock.hpp"
+
+namespace simgex {
+
+namespace net = lci::net;
+
+namespace {
+struct am_header_t {
+  int32_t handler = 0;
+  uint32_t arg0 = 0;
+};
+}  // namespace
+
+struct endpoint_t::impl_t {
+  std::unique_ptr<net::context_t> context;
+  std::unique_ptr<net::device_t> device;
+  std::vector<handler_fn_t> handlers;
+
+  // The endpoint's two locks: injection and poll.
+  lci::util::spinlock_t inject_lock;
+  lci::util::spinlock_t poll_lock;
+
+  std::size_t buffer_size = 0;
+  std::size_t prepost_target = 0;
+  lci::util::spinlock_t buffer_lock;
+  std::vector<std::unique_ptr<char[]>> buffer_storage;  // guarded by buffer_lock
+  std::deque<char*> free_buffers;                       // guarded by buffer_lock
+
+  char* get_buffer() {
+    std::lock_guard<lci::util::spinlock_t> guard(buffer_lock);
+    if (free_buffers.empty()) {
+      buffer_storage.push_back(std::make_unique<char[]>(buffer_size));
+      return buffer_storage.back().get();
+    }
+    char* buf = free_buffers.back();
+    free_buffers.pop_back();
+    return buf;
+  }
+  void put_buffer(char* buf) {
+    std::lock_guard<lci::util::spinlock_t> guard(buffer_lock);
+    free_buffers.push_back(buf);
+  }
+
+  void replenish() {
+    while (device->preposted_recvs() < prepost_target) {
+      char* buf = get_buffer();
+      if (device->post_recv(buf, buffer_size, buf) != net::post_result_t::ok) {
+        put_buffer(buf);
+        break;
+      }
+    }
+  }
+};
+
+endpoint_t::endpoint_t(std::shared_ptr<lci::net::fabric_t> fabric, int rank,
+                       const config_t& config)
+    : fabric_(std::move(fabric)),
+      rank_(rank),
+      nranks_(fabric_->nranks()),
+      config_(config),
+      impl_(std::make_unique<impl_t>()) {
+  impl_->context = fabric_->create_context(rank);
+  impl_->device = impl_->context->create_device();
+  impl_->buffer_size = config_.max_medium + sizeof(am_header_t);
+  impl_->prepost_target = config_.prepost_depth;
+  impl_->replenish();
+}
+
+namespace {
+lci::sim::binding_t require_binding() {
+  auto binding = lci::sim::current_binding();
+  if (!binding)
+    throw std::runtime_error("simgex: thread has no sim rank binding");
+  return binding;
+}
+}  // namespace
+
+endpoint_t::endpoint_t(const config_t& config)
+    : endpoint_t(require_binding()->fabric, require_binding()->rank, config) {}
+
+endpoint_t::~endpoint_t() = default;
+
+int endpoint_t::register_handler(handler_fn_t fn) {
+  impl_->handlers.push_back(std::move(fn));
+  return static_cast<int>(impl_->handlers.size()) - 1;
+}
+
+void endpoint_t::am_request_medium(int dst, int handler, const void* data,
+                                   std::size_t size, uint32_t arg0) {
+  if (size > config_.max_medium)
+    throw std::runtime_error("simgex: payload exceeds the medium AM limit");
+  char* staging = impl_->get_buffer();
+  am_header_t header;
+  header.handler = handler;
+  header.arg0 = arg0;
+  std::memcpy(staging, &header, sizeof(header));
+  std::memcpy(staging + sizeof(header), data, size);
+
+  lci::util::backoff_t backoff;
+  while (true) {
+    {
+      std::lock_guard<lci::util::spinlock_t> guard(impl_->inject_lock);
+      if (impl_->device->post_send(dst, staging, sizeof(header) + size, 0,
+                                   nullptr) == net::post_result_t::ok)
+        break;
+    }
+    // Injection back-pressured: poll (GASNet semantics) and retry.
+    poll();
+    backoff.spin();
+  }
+  impl_->put_buffer(staging);
+}
+
+bool endpoint_t::poll() {
+  if (!impl_->poll_lock.try_lock()) return false;  // someone else is polling
+  net::cqe_t cqes[16];
+  const auto polled = impl_->device->poll_cq(cqes, 16);
+  bool processed = false;
+  for (std::size_t i = 0; i < polled.count; ++i) {
+    const net::cqe_t& cqe = cqes[i];
+    if (cqe.op != net::op_t::recv) continue;
+    processed = true;
+    char* buf = static_cast<char*>(cqe.user_context);
+    am_header_t header;
+    std::memcpy(&header, buf, sizeof(header));
+    const char* data = buf + sizeof(header);
+    const std::size_t data_size = cqe.length - sizeof(header);
+    assert(header.handler >= 0 &&
+           static_cast<std::size_t>(header.handler) < impl_->handlers.size());
+    // Handlers run inside the progress engine (GASNet AM semantics).
+    impl_->handlers[static_cast<std::size_t>(header.handler)](
+        cqe.peer_rank, data, data_size, header.arg0);
+    impl_->put_buffer(buf);
+  }
+  impl_->replenish();
+  impl_->poll_lock.unlock();
+  return processed;
+}
+
+}  // namespace simgex

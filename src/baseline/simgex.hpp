@@ -1,0 +1,69 @@
+// simgex — a GASNet-EX-like baseline over the simulated fabric.
+//
+// Stand-in for GASNet-EX in the paper's evaluation. Reproduces the traits
+// the paper measures (Sec. 5.2, 5.3):
+//  * active-message-only data path (gex_AM_RequestMedium-style), no
+//    send-receive;
+//  * one shared endpoint per rank, no resource replication (the paper notes
+//    GASNet-EX cannot run the dedicated-resource mode);
+//  * AM handlers registered in a table and executed inside the poll call,
+//    which therefore must be short and must not communicate;
+//  * moderate lock granularity: one injection lock, one poll lock — good
+//    shared-resource behaviour, but every thread still serializes on them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "net/net.hpp"
+
+namespace simgex {
+
+// Handler contract (GASNet semantics): runs inside poll, receives a borrowed
+// view of the payload; must copy out anything it wants to keep and must not
+// call back into simgex.
+using handler_fn_t =
+    std::function<void(int src, const void* data, std::size_t size,
+                       uint32_t arg0)>;
+
+struct config_t {
+  std::size_t max_medium = 8192;   // gex_AM_LUBRequestMedium analogue
+  std::size_t prepost_depth = 512;
+};
+
+class endpoint_t {
+ public:
+  endpoint_t(std::shared_ptr<lci::net::fabric_t> fabric, int rank,
+             const config_t& config = {});
+  explicit endpoint_t(const config_t& config = {});
+  ~endpoint_t();
+  endpoint_t(const endpoint_t&) = delete;
+  endpoint_t& operator=(const endpoint_t&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return nranks_; }
+  std::size_t max_medium() const noexcept { return config_.max_medium; }
+
+  // Registration must happen before the first poll (GASNet registers
+  // handlers at attach time).
+  int register_handler(handler_fn_t fn);
+
+  // Blocking injection (GASNet may poll internally until resources free up).
+  void am_request_medium(int dst, int handler, const void* data,
+                         std::size_t size, uint32_t arg0 = 0);
+
+  // Polls the endpoint and runs handlers inline. Returns true if anything
+  // was processed.
+  bool poll();
+
+ private:
+  struct impl_t;
+  std::shared_ptr<lci::net::fabric_t> fabric_;
+  int rank_ = 0;
+  int nranks_ = 1;
+  config_t config_;
+  std::unique_ptr<impl_t> impl_;
+};
+
+}  // namespace simgex

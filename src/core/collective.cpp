@@ -1,0 +1,263 @@
+// Basic collectives (paper Sec. 6): dissemination barrier and binomial-tree
+// broadcast / reduce, built from LCI point-to-point primitives on a dedicated
+// internal matching engine so they never interfere with user traffic.
+//
+// Calling convention: one thread per rank per collective, and every rank must
+// invoke the same sequence of collectives (the per-runtime sequence number
+// keys the matching tags).
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/runtime_impl.hpp"
+
+namespace lci {
+
+namespace {
+
+using detail::device_impl_t;
+using detail::runtime_impl_t;
+
+enum class coll_op_t : uint32_t {
+  barrier = 1,
+  bcast = 2,
+  reduce = 3,
+  gather = 4,
+  ibarrier = 5,
+};
+
+tag_t coll_tag(coll_op_t op, uint32_t seq, uint32_t round) {
+  return (static_cast<uint32_t>(op) << 28) | ((seq & 0xfffffu) << 8) |
+         (round & 0xffu);
+}
+
+struct coll_ctx_t {
+  runtime_impl_t* rt;
+  device_impl_t* dev;
+  uint32_t seq;
+};
+
+coll_ctx_t make_ctx(runtime_t runtime, device_t device) {
+  auto* rt = detail::resolve_runtime(runtime);
+  auto* dev = device.p != nullptr ? device.p : &rt->default_device();
+  return coll_ctx_t{rt, dev, rt->next_collective_seq()};
+}
+
+// Blocking send: retries through progress, waits for rendezvous completion.
+void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
+               std::size_t size, tag_t tag) {
+  comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
+  matching_engine_t engine{&ctx.rt->coll_engine()};
+  while (true) {
+    const status_t status =
+        post_send_x(peer, const_cast<void*>(buf), size, tag, sync)
+            .runtime(runtime_t{ctx.rt})
+            .device(device_t{ctx.dev})
+            .matching_engine(engine)();
+    if (status.error.is_done()) break;
+    if (status.error.is_posted()) {
+      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+      break;
+    }
+    ctx.dev->progress();
+  }
+  free_comp(&sync);
+}
+
+// Blocking receive.
+void coll_recv(const coll_ctx_t& ctx, int peer, void* buf, std::size_t size,
+               tag_t tag) {
+  comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
+  matching_engine_t engine{&ctx.rt->coll_engine()};
+  const status_t status = post_recv_x(peer, buf, size, tag, sync)
+                              .runtime(runtime_t{ctx.rt})
+                              .device(device_t{ctx.dev})
+                              .matching_engine(engine)();
+  if (status.error.is_posted()) {
+    while (!sync_test(sync, nullptr)) ctx.dev->progress();
+  }
+  free_comp(&sync);
+}
+
+}  // namespace
+
+void barrier(runtime_t runtime, device_t device) {
+  const coll_ctx_t ctx = make_ctx(runtime, device);
+  const int n = ctx.rt->nranks();
+  const int me = ctx.rt->rank();
+  char token = 0;
+  uint32_t round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (me + dist) % n;
+    const int from = (me - dist % n + n) % n;
+    const tag_t tag = coll_tag(coll_op_t::barrier, ctx.seq, round);
+    // Post the receive first, then send; wait for the receive.
+    char incoming = 0;
+    comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
+    matching_engine_t engine{&ctx.rt->coll_engine()};
+    const status_t rstatus =
+        post_recv_x(from, &incoming, sizeof(incoming), tag, sync)
+            .runtime(runtime_t{ctx.rt})
+            .device(device_t{ctx.dev})
+            .matching_engine(engine)();
+    coll_send(ctx, to, &token, sizeof(token), tag);
+    if (rstatus.error.is_posted()) {
+      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+    }
+    free_comp(&sync);
+  }
+}
+
+void broadcast(void* buffer, std::size_t size, int root, runtime_t runtime,
+               device_t device) {
+  const coll_ctx_t ctx = make_ctx(runtime, device);
+  const int n = ctx.rt->nranks();
+  const int me = ctx.rt->rank();
+  if (n == 1) return;
+  const int relative = (me - root + n) % n;
+  const tag_t tag = coll_tag(coll_op_t::bcast, ctx.seq, 0);
+
+  int mask = 1;
+  while (mask < n) {
+    if (relative & mask) {
+      const int src = (me - mask + n) % n;
+      coll_recv(ctx, src, buffer, size, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < n) {
+      const int dst = (me + mask) % n;
+      coll_send(ctx, dst, buffer, size, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void reduce(const void* sendbuf, void* recvbuf, std::size_t size,
+            reduce_fn_t op, int root, runtime_t runtime, device_t device) {
+  const coll_ctx_t ctx = make_ctx(runtime, device);
+  const int n = ctx.rt->nranks();
+  const int me = ctx.rt->rank();
+  if (n == 1) {
+    std::memcpy(recvbuf, sendbuf, size);
+    return;
+  }
+  const int relative = (me - root + n) % n;
+  const tag_t tag = coll_tag(coll_op_t::reduce, ctx.seq, 0);
+
+  std::unique_ptr<char[]> accumulator(new char[size]);
+  std::unique_ptr<char[]> incoming(new char[size]);
+  std::memcpy(accumulator.get(), sendbuf, size);
+
+  int mask = 1;
+  while (mask < n) {
+    if ((relative & mask) == 0) {
+      const int source_rel = relative | mask;
+      if (source_rel < n) {
+        const int src = (source_rel + root) % n;
+        coll_recv(ctx, src, incoming.get(), size, tag);
+        op(accumulator.get(), incoming.get(), size);
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % n;
+      coll_send(ctx, dst, accumulator.get(), size, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (me == root) std::memcpy(recvbuf, accumulator.get(), size);
+}
+
+void allreduce(const void* sendbuf, void* recvbuf, std::size_t size,
+               reduce_fn_t op, runtime_t runtime, device_t device) {
+  // reduce-to-0 then broadcast: two collective sequence numbers, consistent
+  // across ranks because every rank issues both calls.
+  reduce(sendbuf, recvbuf, size, op, /*root=*/0, runtime, device);
+  broadcast(recvbuf, size, /*root=*/0, runtime, device);
+}
+
+void allgather(const void* sendbuf, void* recvbuf, std::size_t size,
+               runtime_t runtime, device_t device) {
+  const coll_ctx_t ctx = make_ctx(runtime, device);
+  const int n = ctx.rt->nranks();
+  const int me = ctx.rt->rank();
+  char* out = static_cast<char*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(me) * size, sendbuf, size);
+  if (n == 1) return;
+  // Bruck-style ring: in round k, receive the block that originated k+1
+  // hops upstream from the left neighbor while sending the block that
+  // originated k hops upstream to the right neighbor.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int k = 0; k < n - 1; ++k) {
+    const int send_origin = (me - k + n) % n;
+    const int recv_origin = (me - k - 1 + n) % n;
+    const tag_t tag = coll_tag(coll_op_t::gather, ctx.seq,
+                               static_cast<uint32_t>(k));
+    comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
+    matching_engine_t engine{&ctx.rt->coll_engine()};
+    const status_t rstatus =
+        post_recv_x(left, out + static_cast<std::size_t>(recv_origin) * size,
+                    size, tag, sync)
+            .runtime(runtime_t{ctx.rt})
+            .device(device_t{ctx.dev})
+            .matching_engine(engine)();
+    coll_send(ctx, right, out + static_cast<std::size_t>(send_origin) * size,
+              size, tag);
+    if (rstatus.error.is_posted()) {
+      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+    }
+    free_comp(&sync);
+  }
+}
+
+graph_t alloc_barrier_graph(runtime_t runtime, device_t device) {
+  const coll_ctx_t ctx = make_ctx(runtime, device);
+  const int n = ctx.rt->nranks();
+  const int me = ctx.rt->rank();
+  graph_t graph = alloc_graph(runtime_t{ctx.rt});
+
+  // Dissemination rounds as graph nodes: recv_k must complete before
+  // send_{k+1} starts; receives are posted up front (they are roots).
+  graph_node_t previous_recv = graph_node_null;
+  uint32_t round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (me + dist) % n;
+    const int from = (me - dist % n + n) % n;
+    const tag_t tag = coll_tag(coll_op_t::ibarrier, ctx.seq, round);
+    matching_engine_t engine{&ctx.rt->coll_engine()};
+    detail::runtime_impl_t* rt = ctx.rt;
+    detail::device_impl_t* dev = ctx.dev;
+
+    // Token storage owned by the closures (shared so copies stay valid).
+    auto token = std::make_shared<char>(0);
+    // The node id is only known after add_node; the closure reads it through
+    // a shared holder filled in right below.
+    auto recv_id = std::make_shared<graph_node_t>(graph_node_null);
+    const graph_node_t recv_node = graph_add_node(graph, [=]() -> status_t {
+      return post_recv_x(from, token.get(), 1, tag,
+                         graph_node_comp(graph, *recv_id))
+          .runtime(runtime_t{rt})
+          .device(device_t{dev})
+          .matching_engine(engine)
+          .allow_done(false)();
+    });
+    *recv_id = recv_node;
+    const graph_node_t send_node = graph_add_node(graph, [=]() -> status_t {
+      auto out = std::make_shared<char>(1);
+      return post_send_x(to, out.get(), 1, tag, comp_t{})
+          .runtime(runtime_t{rt})
+          .device(device_t{dev})
+          .matching_engine(engine)();
+    });
+    if (previous_recv != graph_node_null)
+      graph_add_edge(graph, previous_recv, send_node);
+    previous_recv = recv_node;
+  }
+  return graph;
+}
+
+}  // namespace lci

@@ -1,0 +1,184 @@
+// Completion-object API (paper Sec. 3.2.5 / 4.1.4).
+#include "core/comp_impl.hpp"
+#include "core/runtime_impl.hpp"
+
+namespace lci {
+
+comp_t alloc_handler(handler_fn_t fn, runtime_t) {
+  comp_t comp;
+  comp.p = new detail::handler_impl_t(std::move(fn));
+  return comp;
+}
+
+comp_t alloc_cq(runtime_t runtime) {
+  auto* rt = detail::resolve_runtime(runtime);
+  comp_t comp;
+  comp.p = new detail::cq_impl_t(rt->attr().default_cq_type,
+                                 rt->attr().cq_default_capacity);
+  return comp;
+}
+
+// Extended variant used by tests/benches to pick the queue implementation
+// explicitly (the paper's two designs: LCRQ and the FAA array).
+comp_t alloc_cq_typed(cq_type_t type, std::size_t capacity) {
+  comp_t comp;
+  comp.p = new detail::cq_impl_t(type, capacity ? capacity : 65536);
+  return comp;
+}
+
+comp_t alloc_sync(std::size_t threshold, runtime_t) {
+  comp_t comp;
+  comp.p = new detail::sync_impl_t(threshold);
+  return comp;
+}
+
+void free_comp(comp_t* comp) {
+  if (comp == nullptr || comp->p == nullptr) return;
+  delete comp->p;
+  comp->p = nullptr;
+}
+
+status_t cq_pop(comp_t cq) {
+  auto* impl = dynamic_cast<detail::cq_impl_t*>(cq.p);
+  if (impl == nullptr) throw fatal_error_t("cq_pop: not a completion queue");
+  status_t status;
+  if (impl->pop(&status)) {
+    status.error.code = errorcode_t::done;
+    return status;
+  }
+  status.error.code = errorcode_t::retry;
+  return status;
+}
+
+bool sync_test(comp_t sync, status_t* out) {
+  auto* impl = dynamic_cast<detail::sync_impl_t*>(sync.p);
+  if (impl == nullptr) throw fatal_error_t("sync_test: not a synchronizer");
+  return impl->test(out);
+}
+
+void sync_wait(comp_t sync, status_t* out) {
+  auto* impl = dynamic_cast<detail::sync_impl_t*>(sync.p);
+  if (impl == nullptr) throw fatal_error_t("sync_wait: not a synchronizer");
+  // Drive the calling rank's default device while waiting so a single
+  // threaded client cannot deadlock on its own progress.
+  runtime_t g = get_g_runtime();
+  util::backoff_t backoff;
+  while (!impl->test(out)) {
+    if (g.p != nullptr) {
+      if (g.p->default_device().progress()) {
+        backoff.reset();
+        continue;
+      }
+    }
+    backoff.spin();
+  }
+}
+
+void comp_signal(comp_t comp, const status_t& status) {
+  if (comp.p != nullptr) comp.p->signal(status);
+}
+
+rcomp_t register_rcomp(comp_t comp, runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->register_rcomp(comp.p);
+}
+
+void deregister_rcomp(rcomp_t rcomp, runtime_t runtime) {
+  detail::resolve_runtime(runtime)->deregister_rcomp(rcomp);
+}
+
+}  // namespace lci
+
+namespace lci {
+
+// ---------------------------------------------------------------------------
+// OFF allocation variants and attribute queries
+// ---------------------------------------------------------------------------
+
+device_t alloc_device_x::operator()() const {
+  auto* rt = detail::resolve_runtime(runtime_);
+  device_t device;
+  device.p = new detail::device_impl_t(rt, prepost_depth_);
+  return device;
+}
+
+comp_t alloc_cq_x::operator()() const {
+  auto* rt = detail::resolve_runtime(runtime_);
+  comp_t comp;
+  comp.p = new detail::cq_impl_t(
+      has_type_ ? type_ : rt->attr().default_cq_type,
+      capacity_ != 0 ? capacity_ : rt->attr().cq_default_capacity);
+  return comp;
+}
+
+comp_t alloc_sync_x::operator()() const {
+  comp_t comp;
+  comp.p = new detail::sync_impl_t(threshold_);
+  return comp;
+}
+
+matching_engine_t alloc_matching_engine_x::operator()() const {
+  auto* rt = detail::resolve_runtime(runtime_);
+  matching_engine_t engine;
+  engine.p = new detail::matching_engine_impl_t(
+      num_buckets_ != 0 ? num_buckets_ : rt->attr().matching_engine_buckets);
+  if (make_key_) engine.p->set_make_key(make_key_);
+  rt->register_engine(engine.p);
+  engine.p->owner = rt;
+  return engine;
+}
+
+packet_pool_t alloc_packet_pool_x::operator()() const {
+  auto* rt = detail::resolve_runtime(runtime_);
+  packet_pool_t pool;
+  pool.p = new detail::packet_pool_impl_t(
+      npackets_ != 0 ? npackets_ : rt->attr().npackets,
+      packet_size_ != 0 ? packet_size_ : rt->attr().packet_size);
+  return pool;
+}
+
+runtime_attr_t get_attr(runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->attr();
+}
+
+device_attr_t get_attr(device_t device) {
+  device_attr_t attr;
+  if (device.p == nullptr) return attr;
+  attr.prepost_depth = device.p->prepost_depth();
+  attr.net_index = device.p->net().index();
+  attr.backlog_size = device.p->backlog().size_approx();
+  return attr;
+}
+
+matching_engine_attr_t get_attr(matching_engine_t engine) {
+  matching_engine_attr_t attr;
+  if (engine.p == nullptr) return attr;
+  attr.num_buckets = engine.p->num_buckets();
+  attr.id = engine.p->id();
+  attr.entries = engine.p->size_slow();
+  return attr;
+}
+
+packet_pool_attr_t get_attr(packet_pool_t pool) {
+  packet_pool_attr_t attr;
+  if (pool.p == nullptr) return attr;
+  attr.npackets = pool.p->total_packets();
+  attr.packet_size = pool.p->packet_capacity();
+  attr.pooled = pool.p->pooled_approx();
+  return attr;
+}
+
+comp_attr_t get_attr(comp_t comp) {
+  comp_attr_t attr;
+  if (auto* cq = dynamic_cast<detail::cq_impl_t*>(comp.p)) {
+    attr.kind = comp_attr_t::kind_t::cq;
+    attr.cq_type = cq->type();
+  } else if (auto* sync = dynamic_cast<detail::sync_impl_t*>(comp.p)) {
+    attr.kind = comp_attr_t::kind_t::sync;
+    attr.sync_threshold = sync->threshold();
+  } else if (dynamic_cast<detail::handler_impl_t*>(comp.p) != nullptr) {
+    attr.kind = comp_attr_t::kind_t::handler;
+  }
+  return attr;
+}
+
+}  // namespace lci

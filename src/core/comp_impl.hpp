@@ -1,0 +1,118 @@
+// Completion objects (paper Sec. 4.1.4). All built-ins are atomic-based.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/lci.hpp"
+#include "util/lcrq.hpp"
+#include "util/mpmc_ring.hpp"
+
+namespace lci::detail {
+
+// A completion object is a functor with a virtual signal method taking a
+// status (Sec. 3.2.5).
+class comp_impl_t {
+ public:
+  virtual ~comp_impl_t() = default;
+  virtual void signal(const status_t& status) = 0;
+};
+
+// Handler: essentially a function; runs inline in the signaling context
+// (usually the progress engine), so it must be short and must not block.
+class handler_impl_t final : public comp_impl_t {
+ public:
+  explicit handler_impl_t(handler_fn_t fn) : fn_(std::move(fn)) {}
+  void signal(const status_t& status) override { fn_(status); }
+
+ private:
+  handler_fn_t fn_;
+};
+
+// Completion queue: two implementations selectable per paper Sec. 4.1.4 —
+// the LCRQ-based unbounded queue (default) and a fetch-and-add fixed-size
+// array. The array variant blocks (spin+yield) when full: a signal must
+// never be lost.
+class cq_impl_t final : public comp_impl_t {
+ public:
+  explicit cq_impl_t(cq_type_t type, std::size_t capacity)
+      : type_(type) {
+    if (type_ == cq_type_t::lcrq) {
+      lcrq_ = std::make_unique<util::lcrq_t<status_t>>(1024);
+    } else {
+      ring_ = std::make_unique<util::mpmc_ring_t<status_t>>(capacity);
+    }
+  }
+
+  void signal(const status_t& status) override {
+    if (type_ == cq_type_t::lcrq) {
+      lcrq_->push(status);
+    } else {
+      util::backoff_t backoff;
+      while (!ring_->try_push(status)) backoff.spin();
+    }
+  }
+
+  bool pop(status_t* out) {
+    if (type_ == cq_type_t::lcrq) {
+      if (auto status = lcrq_->try_pop()) {
+        *out = *status;
+        return true;
+      }
+      return false;
+    }
+    if (auto status = ring_->try_pop()) {
+      *out = *status;
+      return true;
+    }
+    return false;
+  }
+
+  cq_type_t type() const noexcept { return type_; }
+
+ private:
+  const cq_type_t type_;
+  std::unique_ptr<util::lcrq_t<status_t>> lcrq_;
+  std::unique_ptr<util::mpmc_ring_t<status_t>> ring_;
+};
+
+// Synchronizer: similar to an MPI request but accepts `threshold` signals
+// before becoming ready. Implemented with a fixed-size status array guarded
+// by two atomic counters: `arrivals` claims a slot, `committed` publishes the
+// write. Reuse discipline: after test() returns true the synchronizer resets;
+// new signals may only be issued after the reset (single logical consumer).
+class sync_impl_t final : public comp_impl_t {
+ public:
+  explicit sync_impl_t(std::size_t threshold)
+      : threshold_(threshold ? threshold : 1), slots_(threshold_) {}
+
+  void signal(const status_t& status) override {
+    const std::size_t i = arrivals_.fetch_add(1, std::memory_order_acq_rel);
+    assert(i < threshold_ && "synchronizer signaled more than its threshold");
+    slots_[i] = status;
+    committed_.fetch_add(1, std::memory_order_release);
+  }
+
+  bool test(status_t* out) {
+    if (committed_.load(std::memory_order_acquire) != threshold_) return false;
+    if (out != nullptr) {
+      for (std::size_t i = 0; i < threshold_; ++i) out[i] = slots_[i];
+    }
+    committed_.store(0, std::memory_order_relaxed);
+    arrivals_.store(0, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t threshold() const noexcept { return threshold_; }
+
+ private:
+  const std::size_t threshold_;
+  std::vector<status_t> slots_;
+  std::atomic<std::size_t> arrivals_{0};
+  std::atomic<std::size_t> committed_{0};
+};
+
+}  // namespace lci::detail

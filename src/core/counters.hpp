@@ -1,0 +1,94 @@
+// Per-runtime statistics counters.
+//
+// Cheap (relaxed, cache-line-padded per counter) instrumentation of the
+// communication paths: protocol mix, retry reasons, backlog traffic,
+// rendezvous handshakes. Snapshots are taken with lci::get_counters and are
+// approximate under concurrency (each counter is exact; cross-counter
+// consistency is not promised), which is all debugging and benchmark
+// reporting need.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace lci {
+
+// Snapshot returned to users; see counter_id_t for meanings.
+struct counters_t {
+  uint64_t send_inject = 0;      // eager sends below max_inject_size
+  uint64_t send_bcopy = 0;       // buffer-copy eager sends
+  uint64_t send_rdv = 0;         // rendezvous sends (RTS issued)
+  uint64_t recv_posted = 0;      // receives inserted into a matching engine
+  uint64_t recv_matched = 0;     // receives satisfied (eager or rendezvous)
+  uint64_t am_delivered = 0;     // active messages signaled at the target
+  uint64_t rma_put = 0;
+  uint64_t rma_get = 0;
+  uint64_t retry_lock = 0;       // try-lock wrapper misses surfaced
+  uint64_t retry_nopacket = 0;   // packet-pool exhaustion surfaced
+  uint64_t retry_nomem = 0;      // send-queue/wire back-pressure surfaced
+  uint64_t backlog_pushed = 0;   // operations queued on a backlog
+  uint64_t progress_calls = 0;
+};
+
+namespace detail {
+
+enum class counter_id_t : int {
+  send_inject,
+  send_bcopy,
+  send_rdv,
+  recv_posted,
+  recv_matched,
+  am_delivered,
+  rma_put,
+  rma_get,
+  retry_lock,
+  retry_nopacket,
+  retry_nomem,
+  backlog_pushed,
+  progress_calls,
+  count_  // sentinel
+};
+
+class counter_block_t {
+ public:
+  void add(counter_id_t id, uint64_t delta = 1) noexcept {
+    cells_[static_cast<std::size_t>(id)]->fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  counters_t snapshot() const noexcept {
+    counters_t out;
+    out.send_inject = load(counter_id_t::send_inject);
+    out.send_bcopy = load(counter_id_t::send_bcopy);
+    out.send_rdv = load(counter_id_t::send_rdv);
+    out.recv_posted = load(counter_id_t::recv_posted);
+    out.recv_matched = load(counter_id_t::recv_matched);
+    out.am_delivered = load(counter_id_t::am_delivered);
+    out.rma_put = load(counter_id_t::rma_put);
+    out.rma_get = load(counter_id_t::rma_get);
+    out.retry_lock = load(counter_id_t::retry_lock);
+    out.retry_nopacket = load(counter_id_t::retry_nopacket);
+    out.retry_nomem = load(counter_id_t::retry_nomem);
+    out.backlog_pushed = load(counter_id_t::backlog_pushed);
+    out.progress_calls = load(counter_id_t::progress_calls);
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& cell : cells_) cell->store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t load(counter_id_t id) const noexcept {
+    return cells_[static_cast<std::size_t>(id)]->load(
+        std::memory_order_relaxed);
+  }
+
+  util::padded<std::atomic<uint64_t>>
+      cells_[static_cast<std::size_t>(counter_id_t::count_)];
+};
+
+}  // namespace detail
+}  // namespace lci

@@ -1,0 +1,67 @@
+// Device: a complete set of low-level network resources. Threads operating
+// on different devices never interfere (paper Sec. 3.2.3 / 4.2).
+#include "core/runtime_impl.hpp"
+#include "util/log.hpp"
+
+namespace lci::detail {
+
+device_impl_t::device_impl_t(runtime_impl_t* runtime,
+                             std::size_t prepost_depth)
+    : runtime_(runtime),
+      prepost_depth_(prepost_depth ? prepost_depth
+                                   : runtime->attr().prepost_depth),
+      net_device_(runtime->net_context().create_device()) {
+  // Fill the receive queue up front so early senders find buffers; further
+  // replenishment is the progress engine's job.
+  replenish_preposts();
+  LCI_LOG_(debug, "rank %d: device %d up (prepost_depth=%zu)",
+           runtime_->rank(), net_device_->index(), prepost_depth_);
+}
+
+device_impl_t::~device_impl_t() {
+  // Packets still sitting in the pre-posted receive queue are reclaimed when
+  // the pool frees its slabs; quiesce traffic before freeing a device.
+}
+
+bool device_impl_t::replenish_preposts() {
+  bool advanced = false;
+  while (net_device_->preposted_recvs() < prepost_depth_) {
+    packet_t* packet = runtime_->default_pool().get();
+    if (packet == nullptr) break;  // pool dry; try again next progress call
+    const auto result = net_device_->post_recv(
+        packet->payload(), runtime_->default_pool().packet_capacity(), packet);
+    if (result != net::post_result_t::ok) {
+      runtime_->default_pool().put(packet);
+      break;
+    }
+    advanced = true;
+  }
+  return advanced;
+}
+
+}  // namespace lci::detail
+
+namespace lci {
+
+device_t alloc_device(runtime_t runtime) {
+  auto* rt = detail::resolve_runtime(runtime);
+  device_t device;
+  device.p = new detail::device_impl_t(rt, 0);
+  return device;
+}
+
+void free_device(device_t* device) {
+  if (device == nullptr || device->p == nullptr) return;
+  delete device->p;
+  device->p = nullptr;
+}
+
+namespace detail {
+bool progress_impl(runtime_t runtime, device_t device) {
+  device_impl_t* dev =
+      device.p != nullptr ? device.p : &resolve_runtime(runtime)->default_device();
+  return dev->progress();
+}
+}  // namespace detail
+
+}  // namespace lci

@@ -1,0 +1,219 @@
+// Matching engine (paper Sec. 4.1.3).
+//
+// Matches incoming sends with user-posted receives on the target side.
+// Structure: a hashtable of `num_buckets` buckets (default 65536), each
+// protected by its own spinlock — far more buckets than threads, so
+// contention is rare. Each bucket holds a list of per-key queues; a queue
+// holds either pending sends or pending receives for one key (never both: a
+// complementary arrival matches instead of queueing). The fast path uses
+// fixed-size arrays — up to 3 queues inline per bucket and up to 2 entries
+// inline per queue — so a low-load-factor insertion costs a single cache
+// miss; overflow spills to heap containers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/lci.hpp"
+#include "util/spinlock.hpp"
+
+namespace lci::detail {
+
+class matching_engine_impl_t {
+ public:
+  using key_t = uint64_t;
+  enum class type_t : uint8_t { send, recv };
+
+  // Custom key derivation (Sec. 3.3.2: users may supply their own make_key).
+  using make_key_fn_t = std::function<key_t(int rank, tag_t tag,
+                                            matching_policy_t policy)>;
+
+  explicit matching_engine_impl_t(std::size_t num_buckets)
+      : buckets_(round_pow2(num_buckets)), mask_(buckets_.size() - 1) {}
+
+  // Default key: [2 bits policy][30 bits rank][32 bits tag] with the wildcard
+  // component zeroed, so different policies never collide.
+  static key_t default_make_key(int rank, tag_t tag,
+                                matching_policy_t policy) {
+    assert(rank >= 0 && rank < (1 << 30));
+    const auto p = static_cast<key_t>(policy) << 62;
+    switch (policy) {
+      case matching_policy_t::rank_tag:
+        return p | (static_cast<key_t>(rank) << 32) | tag;
+      case matching_policy_t::rank_only:
+        return p | (static_cast<key_t>(rank) << 32);
+      case matching_policy_t::tag_only:
+        return p | tag;
+      case matching_policy_t::none:
+        return p;
+    }
+    return p;
+  }
+
+  void set_make_key(make_key_fn_t fn) { make_key_fn_ = std::move(fn); }
+
+  key_t make_key(int rank, tag_t tag, matching_policy_t policy) const {
+    return make_key_fn_ ? make_key_fn_(rank, tag, policy)
+                        : default_make_key(rank, tag, policy);
+  }
+
+  // Tries to insert (key, value) with the given type. If an entry with the
+  // same key and the complementary type exists, removes and returns the
+  // oldest such value instead of inserting; otherwise inserts and returns
+  // nullptr.
+  void* insert(key_t key, void* value, type_t type) {
+    bucket_t& bucket = buckets_[hash(key) & mask_];
+    std::lock_guard<util::spinlock_t> guard(bucket.lock);
+    // Fast-path scan.
+    for (std::size_t i = 0; i < bucket.nfast; ++i) {
+      if (bucket.fast[i].key == key)
+        return resolve(bucket, /*in_fast=*/true, i, value, type);
+    }
+    if (bucket.overflow) {
+      for (std::size_t i = 0; i < bucket.overflow->size(); ++i) {
+        if ((*bucket.overflow)[i].key == key)
+          return resolve(bucket, /*in_fast=*/false, i, value, type);
+      }
+    }
+    // No queue for this key yet: create one.
+    if (bucket.nfast < fast_queues) {
+      slot_t& slot = bucket.fast[bucket.nfast++];
+      slot.reset(key, type);
+      slot.push(value);
+    } else {
+      if (!bucket.overflow) bucket.overflow = std::make_unique<overflow_t>();
+      bucket.overflow->emplace_back();
+      slot_t& slot = bucket.overflow->back();
+      slot.reset(key, type);
+      slot.push(value);
+    }
+    return nullptr;
+  }
+
+  // Total queued entries (for tests; takes every bucket lock).
+  std::size_t size_slow() const {
+    std::size_t total = 0;
+    for (auto& bucket : buckets_) {
+      std::lock_guard<util::spinlock_t> guard(bucket.lock);
+      for (std::size_t i = 0; i < bucket.nfast; ++i)
+        total += bucket.fast[i].count;
+      if (bucket.overflow)
+        for (const auto& slot : *bucket.overflow) total += slot.count;
+    }
+    return total;
+  }
+
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+
+  // Engine id within its runtime. Carried in message headers so the target
+  // matches in the same engine the sender named; like rcomps, ids agree
+  // across ranks when every rank allocates its engines in the same order.
+  uint16_t id() const noexcept { return id_; }
+  void set_id(uint16_t id) noexcept { id_ = id; }
+
+  // Owning runtime (set for user-allocated engines so free_matching_engine
+  // can deregister the id).
+  runtime_impl_t* owner = nullptr;
+
+ private:
+  static constexpr std::size_t fast_queues = 3;    // queues inline per bucket
+  static constexpr std::size_t fast_entries = 2;   // entries inline per queue
+
+  // One per-key queue. FIFO; the first `fast_entries` live inline.
+  struct slot_t {
+    key_t key = 0;
+    type_t type = type_t::send;
+    uint32_t count = 0;
+    void* inline_vals[fast_entries] = {nullptr, nullptr};
+    std::unique_ptr<std::deque<void*>> extra;
+
+    void reset(key_t k, type_t t) {
+      key = k;
+      type = t;
+      count = 0;
+      if (extra) extra->clear();
+    }
+    void push(void* value) {
+      if (count < fast_entries) {
+        inline_vals[count] = value;
+      } else {
+        if (!extra) extra = std::make_unique<std::deque<void*>>();
+        extra->push_back(value);
+      }
+      ++count;
+    }
+    void* pop_front() {
+      assert(count > 0);
+      void* front = inline_vals[0];
+      inline_vals[0] = inline_vals[1];
+      if (count > fast_entries) {
+        inline_vals[1] = extra->front();
+        extra->pop_front();
+      }
+      --count;
+      return front;
+    }
+  };
+
+  struct bucket_t {
+    mutable util::spinlock_t lock;
+    slot_t fast[fast_queues];
+    uint8_t nfast = 0;
+    std::unique_ptr<std::vector<slot_t>> overflow;
+  };
+  using overflow_t = std::vector<slot_t>;
+
+  // Caller holds the bucket lock; the slot at (in_fast, i) has `key`.
+  void* resolve(bucket_t& bucket, bool in_fast, std::size_t i, void* value,
+                type_t type) {
+    slot_t& slot = in_fast ? bucket.fast[i] : (*bucket.overflow)[i];
+    if (slot.type == type || slot.count == 0) {
+      slot.type = type;  // count==0 can only happen transiently; retype
+      slot.push(value);
+      return nullptr;
+    }
+    void* matched = slot.pop_front();
+    if (slot.count == 0) remove_slot(bucket, in_fast, i);
+    return matched;
+  }
+
+  static void remove_slot(bucket_t& bucket, bool in_fast, std::size_t i) {
+    if (in_fast) {
+      const std::size_t last = static_cast<std::size_t>(bucket.nfast) - 1;
+      if (i != last) bucket.fast[i] = std::move(bucket.fast[last]);
+      bucket.fast[last] = slot_t{};
+      --bucket.nfast;
+    } else {
+      auto& overflow = *bucket.overflow;
+      if (i != overflow.size() - 1) overflow[i] = std::move(overflow.back());
+      overflow.pop_back();
+    }
+  }
+
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p *= 2;
+    return p < 2 ? 2 : p;
+  }
+
+  static std::size_t hash(key_t key) noexcept {
+    // Fibonacci-style mixing; keys differ mostly in low tag bits and the
+    // rank field, both of which this spreads across buckets.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key);
+  }
+
+  std::vector<bucket_t> buckets_;
+  const std::size_t mask_;
+  make_key_fn_t make_key_fn_;
+  uint16_t id_ = 0;
+};
+
+}  // namespace lci::detail

@@ -1,0 +1,75 @@
+// Packets and the packet pool (paper Sec. 4.1.2).
+//
+// Packets are fixed-size pre-registered buffers used by the buffer-copy
+// protocol and as pre-posted receive buffers. The pool is a collection of
+// per-thread deques managed by an MPMC array: each thread gets/puts at the
+// tail of its own deque (cache-hot end); when its deque is empty it steals
+// half the packets from the head of a randomly chosen victim. Thread safety
+// is a per-deque spinlock, so there is no contention during normal operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/mpmc_array.hpp"
+#include "util/rng.hpp"
+#include "util/steal_deque.hpp"
+#include "util/thread.hpp"
+
+namespace lci::detail {
+
+class packet_pool_impl_t;
+
+// Packet layout: one cache-line header followed by `capacity` payload bytes.
+struct alignas(util::cache_line_size) packet_t {
+  packet_pool_impl_t* pool = nullptr;
+  // Stamped by the progress engine when a packet is retained in the matching
+  // engine as an unexpected message, so the posting path that later matches
+  // it can recover the sender and payload length.
+  int peer_rank = -1;
+  uint32_t payload_size = 0;
+
+  char* payload() noexcept {
+    return reinterpret_cast<char*>(this) + sizeof(packet_t);
+  }
+  static packet_t* from_payload(void* payload) noexcept {
+    return reinterpret_cast<packet_t*>(static_cast<char*>(payload) -
+                                       sizeof(packet_t));
+  }
+};
+static_assert(sizeof(packet_t) == util::cache_line_size);
+
+class packet_pool_impl_t {
+ public:
+  packet_pool_impl_t(std::size_t npackets, std::size_t packet_capacity);
+  ~packet_pool_impl_t();
+  packet_pool_impl_t(const packet_pool_impl_t&) = delete;
+  packet_pool_impl_t& operator=(const packet_pool_impl_t&) = delete;
+
+  // Non-blocking get: pops from the caller's deque, stealing on miss.
+  // Returns nullptr when the steal attempts fail (=> retry_nopacket).
+  packet_t* get();
+  // Returns a packet to the caller's deque.
+  void put(packet_t* packet);
+
+  std::size_t packet_capacity() const noexcept { return packet_capacity_; }
+  std::size_t total_packets() const noexcept { return npackets_; }
+  // Packets currently sitting in deques (approximate; excludes in-flight).
+  std::size_t pooled_approx() const noexcept;
+
+ private:
+  using deque_t = util::steal_deque_t<packet_t*>;
+  deque_t* local_deque();
+
+  const std::size_t npackets_;
+  const std::size_t packet_capacity_;
+  std::vector<std::unique_ptr<char[]>> slabs_;
+  util::mpmc_array_t<deque_t*> deques_{64};
+  std::vector<std::unique_ptr<deque_t>> deque_storage_;  // guarded by reg_lock_
+  util::spinlock_t reg_lock_;
+};
+
+}  // namespace lci::detail

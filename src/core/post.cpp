@@ -1,0 +1,387 @@
+// Generic communication posting (paper Sec. 3.2.4 / Table 1).
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+#include "core/runtime_impl.hpp"
+
+namespace lci::detail {
+
+using counter_id_t = detail::counter_id_t;
+
+namespace {
+
+struct resolved_t {
+  runtime_impl_t* runtime;
+  device_impl_t* device;
+  matching_engine_impl_t* engine;
+  packet_pool_impl_t* pool;
+};
+
+resolved_t resolve(const post_args_t& args) {
+  runtime_impl_t* rt = resolve_runtime(args.runtime);
+  return resolved_t{
+      rt,
+      args.device.p != nullptr ? args.device.p : &rt->default_device(),
+      args.matching_engine.p != nullptr ? args.matching_engine.p
+                                        : &rt->default_engine(),
+      args.packet_pool.p != nullptr ? args.packet_pool.p : &rt->default_pool(),
+  };
+}
+
+std::size_t payload_size(const post_args_t& args) {
+  return args.buffers != nullptr ? args.buffers->total_size() : args.size;
+}
+
+// Gathers the user payload (single buffer or buffer list) into `dst`.
+void gather(const post_args_t& args, char* dst) {
+  if (args.buffers == nullptr) {
+    std::memcpy(dst, args.local_buffer, args.size);
+    return;
+  }
+  std::size_t offset = 0;
+  for (const buffer_t& b : args.buffers->list) {
+    std::memcpy(dst + offset, b.base, b.size);
+    offset += b.size;
+  }
+}
+
+status_t retry_status(errorcode_t code) {
+  status_t status;
+  status.error.code = code;
+  return status;
+}
+
+status_t done_status(const post_args_t& args, std::size_t size) {
+  status_t status;
+  status.error.code = errorcode_t::done;
+  status.rank = args.rank;
+  status.tag = args.tag;
+  status.buffer = buffer_t{args.local_buffer, size};
+  status.user_context = args.user_context;
+  return status;
+}
+
+// Applies the done/posted/backlog conventions to a successfully submitted
+// immediate-completion operation: if the user forbade `done`, signal the comp
+// instead and report `posted`.
+status_t finish_immediate(const post_args_t& args, std::size_t size,
+                          bool via_backlog) {
+  status_t status = done_status(args, size);
+  if (!args.allow_done && args.local_comp.p != nullptr) {
+    args.local_comp.p->signal(status);
+    status.error.code =
+        via_backlog ? errorcode_t::posted_backlog : errorcode_t::posted;
+    return status;
+  }
+  status.error.code = via_backlog ? errorcode_t::done_backlog
+                                  : errorcode_t::done;
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Eager OUT path (inject / buffer-copy) for sends and active messages.
+// ---------------------------------------------------------------------------
+status_t post_eager_out(const resolved_t& r, const post_args_t& args,
+                        uint8_t kind, bool via_backlog) {
+  const std::size_t size = payload_size(args);
+  msg_header_t header;
+  header.kind = kind;
+  header.policy = static_cast<uint8_t>(args.matching_policy);
+  header.engine_id = r.engine->id();
+  header.tag = args.tag;
+  header.rcomp = args.remote_comp;
+
+  const std::size_t wire_size = sizeof(header) + size;
+  net::post_result_t result;
+  if (size <= r.runtime->attr().max_inject_size && !args.from_packet) {
+    // Inject: assemble on the stack, no packet consumed (Sec. 4.3).
+    alignas(msg_header_t) char staging[sizeof(msg_header_t) + 512];
+    assert(wire_size <= sizeof(staging));
+    std::memcpy(staging, &header, sizeof(header));
+    gather(args, staging + sizeof(header));
+    result = r.device->net().post_send(args.rank, staging, wire_size, 0,
+                                       nullptr);
+    if (result != net::post_result_t::ok)
+      return retry_status(map_net_result(result).code);
+    r.runtime->counters().add(counter_id_t::send_inject);
+    return finish_immediate(args, size, via_backlog);
+  }
+
+  // Buffer-copy: stage in a packet. With from_packet the caller already
+  // assembled the payload in a packet obtained from get_packet (Sec. 3.3.1),
+  // so only the header needs writing — the protocol's memory copy is saved.
+  packet_t* packet;
+  if (args.from_packet) {
+    packet = packet_t::from_payload(static_cast<char*>(args.local_buffer) -
+                                    sizeof(msg_header_t));
+    std::memcpy(packet->payload(), &header, sizeof(header));
+  } else {
+    packet = r.pool->get();
+    if (packet == nullptr) return retry_status(errorcode_t::retry_nopacket);
+    std::memcpy(packet->payload(), &header, sizeof(header));
+    gather(args, packet->payload() + sizeof(header));
+  }
+  result =
+      r.device->net().post_send(args.rank, packet->payload(), wire_size, 0,
+                                nullptr);
+  if (result != net::post_result_t::ok) {
+    // from_packet: the caller keeps its packet across the retry.
+    if (!args.from_packet) r.pool->put(packet);
+    return retry_status(map_net_result(result).code);
+  }
+  // The simulated wire copies synchronously, so the packet is reusable as
+  // soon as the post succeeds (a hardware backend would return it from the
+  // send CQE instead). A from_packet post consumes the caller's packet.
+  packet->pool->put(packet);
+  r.runtime->counters().add(counter_id_t::send_bcopy);
+  return finish_immediate(args, size, via_backlog);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous OUT path (zero-copy) for sends and active messages.
+// ---------------------------------------------------------------------------
+status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
+                             uint8_t kind) {
+  const std::size_t size = payload_size(args);
+  rdv_send_t state;
+  state.size = size;
+  state.comp = args.local_comp.p;
+  state.user_context = args.user_context;
+  state.peer_rank = args.rank;
+  state.tag = args.tag;
+  if (args.buffers != nullptr) {
+    // Buffer-list rendezvous: gather into a staging copy the runtime owns
+    // until the RDMA write completes.
+    state.staged = std::make_unique<char[]>(size);
+    gather(args, state.staged.get());
+    state.buffer = args.local_buffer;  // reported back in the status
+  } else {
+    state.buffer = args.local_buffer;
+  }
+  const uint32_t rdv_id = r.runtime->pending_sends().add(std::move(state));
+
+  struct rts_msg_t {
+    msg_header_t header;
+    rts_payload_t payload;
+  } msg;
+  msg.header.kind = kind;
+  msg.header.policy = static_cast<uint8_t>(args.matching_policy);
+  msg.header.engine_id = r.engine->id();
+  msg.header.tag = args.tag;
+  msg.header.rcomp = args.remote_comp;
+  msg.payload.size = size;
+  msg.payload.rdv_id = rdv_id;
+
+  const auto result =
+      r.device->net().post_send(args.rank, &msg, sizeof(msg), 0, nullptr);
+  if (result != net::post_result_t::ok) {
+    rdv_send_t rollback;
+    r.runtime->pending_sends().take(rdv_id, &rollback);
+    return retry_status(map_net_result(result).code);
+  }
+  r.runtime->counters().add(counter_id_t::send_rdv);
+  status_t status;
+  status.error.code = errorcode_t::posted;
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Receive path.
+// ---------------------------------------------------------------------------
+status_t post_receive(const resolved_t& r, const post_args_t& args) {
+  auto* entry = new recv_entry_t;
+  entry->buffer = args.local_buffer;
+  entry->size = payload_size(args);
+  entry->comp = args.local_comp.p;
+  entry->user_context = args.user_context;
+  entry->rank = args.rank;
+  entry->tag = args.tag;
+  if (args.buffers != nullptr) entry->list = args.buffers->list;
+
+  const auto key =
+      r.engine->make_key(args.rank, args.tag, args.matching_policy);
+  r.runtime->counters().add(counter_id_t::recv_posted);
+  void* matched =
+      r.engine->insert(key, entry, matching_engine_impl_t::type_t::recv);
+  if (matched == nullptr) {
+    status_t status;
+    status.error.code = errorcode_t::posted;
+    return status;
+  }
+  r.runtime->counters().add(counter_id_t::recv_matched);
+
+  // (9)/(10): the posting procedure itself found the match.
+  auto* packet = static_cast<packet_t*>(matched);
+  const auto* header =
+      reinterpret_cast<const msg_header_t*>(packet->payload());
+  const char* data = packet->payload() + sizeof(msg_header_t);
+  if (header->kind == msg_header_t::eager_send) {
+    // Immediate completion: return `done` without signaling the comp, unless
+    // the user forbade the done shortcut.
+    const bool force_signal = !args.allow_done && entry->comp != nullptr;
+    status_t status;
+    complete_eager_recv(entry, packet->peer_rank, header->tag, data,
+                        packet->payload_size, &status, force_signal);
+    if (force_signal) status.error.code = errorcode_t::posted;
+    packet->pool->put(packet);
+    return status;
+  }
+  assert(header->kind == msg_header_t::rts);
+  const int peer_rank = packet->peer_rank;
+  rts_payload_t rts;
+  std::memcpy(&rts, data, sizeof(rts));
+  rdv_recv_t state;
+  state.buffer = entry->buffer;
+  state.size = entry->size;
+  state.comp = entry->comp;
+  state.user_context = entry->user_context;
+  state.list = std::move(entry->list);
+  delete entry;
+  start_rendezvous_recv(r.runtime, r.device, peer_rank, header->tag,
+                        rts.rdv_id, rts.size, std::move(state));
+  packet->pool->put(packet);
+  status_t status;
+  status.error.code = errorcode_t::posted;
+  return status;
+}
+
+}  // namespace
+
+status_t post_comm_impl(const post_args_t& args) {
+  const resolved_t r = resolve(args);
+
+  if (args.rank < 0 || args.rank >= r.runtime->nranks())
+    throw fatal_error_t("post_comm: rank out of range");
+
+  status_t status;
+  const bool has_remote_buffer = args.remote_buffer.is_valid();
+  const bool has_remote_comp = args.remote_comp != rcomp_null;
+
+  if (args.direction == direction_t::out) {
+    if (has_remote_buffer) {
+      // RMA put, with or without signal.
+      if (args.buffers != nullptr)
+        throw fatal_error_t("buffer lists are not supported for put/get");
+      auto* ctx = new op_ctx_t;
+      ctx->kind = ctx_kind_t::rma_put;
+      ctx->comp = args.local_comp.p;
+      ctx->user_context = args.user_context;
+      ctx->buffer = args.local_buffer;
+      ctx->size = args.size;
+      ctx->rank = args.rank;
+      ctx->tag = args.tag;
+      const uint32_t imm =
+          has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
+      const auto result = r.device->net().post_write(
+          args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+          args.remote_offset, has_remote_comp, imm, ctx);
+      if (result != net::post_result_t::ok) {
+        delete ctx;
+        status = retry_status(map_net_result(result).code);
+      } else {
+        r.runtime->counters().add(counter_id_t::rma_put);
+        status.error.code = errorcode_t::posted;
+      }
+    } else {
+      // Send (no remote comp) or active message (remote comp given).
+      const uint8_t eager_kind = has_remote_comp ? msg_header_t::eager_am
+                                                 : msg_header_t::eager_send;
+      const uint8_t rdv_kind =
+          has_remote_comp ? msg_header_t::rts_am : msg_header_t::rts;
+      if (payload_size(args) <= r.runtime->eager_threshold())
+        status = post_eager_out(r, args, eager_kind, /*via_backlog=*/false);
+      else
+        status = post_rendezvous_out(r, args, rdv_kind);
+    }
+  } else {
+    if (has_remote_buffer) {
+      // RMA get; with a remote comp this is the read-with-notification
+      // extension (see DESIGN.md).
+      if (args.buffers != nullptr)
+        throw fatal_error_t("buffer lists are not supported for put/get");
+      auto* ctx = new op_ctx_t;
+      ctx->kind = ctx_kind_t::rma_get;
+      ctx->comp = args.local_comp.p;
+      ctx->user_context = args.user_context;
+      ctx->buffer = args.local_buffer;
+      ctx->size = args.size;
+      ctx->rank = args.rank;
+      ctx->tag = args.tag;
+      const uint32_t imm =
+          has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
+      const auto result = r.device->net().post_read(
+          args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+          args.remote_offset, has_remote_comp, imm, ctx);
+      if (result != net::post_result_t::ok) {
+        delete ctx;
+        status = retry_status(map_net_result(result).code);
+      } else {
+        r.runtime->counters().add(counter_id_t::rma_get);
+        status.error.code = errorcode_t::posted;
+      }
+    } else {
+      if (has_remote_comp)
+        throw fatal_error_t(
+            "invalid post_comm: IN direction with a remote completion but no "
+            "remote buffer (Table 1)");
+      return post_receive(r, args);
+    }
+  }
+
+  // allow_retry=false: the user cannot handle retry; queue on the backlog
+  // and report the *_backlog variant (Sec. 4.4). For eager-size payloads the
+  // backlog entry owns a staged copy, so `done_backlog` honestly means "your
+  // buffer is reusable"; larger (rendezvous/RMA) payloads keep referencing
+  // the user buffer until the completion object is signaled.
+  if (status.error.is_retry()) {
+    switch (status.error.code) {
+      case errorcode_t::retry_lock:
+        r.runtime->counters().add(counter_id_t::retry_lock);
+        break;
+      case errorcode_t::retry_nopacket:
+        r.runtime->counters().add(counter_id_t::retry_nopacket);
+        break;
+      case errorcode_t::retry_nomem:
+        r.runtime->counters().add(counter_id_t::retry_nomem);
+        break;
+      default:
+        break;
+    }
+  }
+  if (status.error.is_retry() && !args.allow_retry) {
+    struct backlog_capture_t {
+      post_args_t args;
+      buffers_t buffers;          // deep copy of a buffer list
+      std::vector<char> staged;   // deep copy of an eager payload
+    };
+    auto capture = std::make_shared<backlog_capture_t>();
+    capture->args = args;
+    capture->args.allow_retry = true;
+    // Guarantee the promised signal: a backlogged op must complete through
+    // its completion object, never through a lost `done` return value.
+    capture->args.allow_done = false;
+    const bool eager_out = args.direction == direction_t::out &&
+                           !has_remote_buffer &&
+                           payload_size(args) <= r.runtime->eager_threshold();
+    if (eager_out) {
+      capture->staged.resize(payload_size(args));
+      gather(args, capture->staged.data());
+      capture->args.local_buffer = capture->staged.data();
+      capture->args.size = capture->staged.size();
+      capture->args.buffers = nullptr;
+    } else if (args.buffers != nullptr) {
+      capture->buffers = *args.buffers;
+      capture->args.buffers = &capture->buffers;
+    }
+    r.runtime->counters().add(counter_id_t::backlog_pushed);
+    r.device->backlog().push(
+        [capture]() { return post_comm_impl(capture->args); });
+    status.error.code = args.local_comp.p != nullptr
+                            ? errorcode_t::posted_backlog
+                            : errorcode_t::done_backlog;
+  }
+  return status;
+}
+
+}  // namespace lci::detail

@@ -1,0 +1,323 @@
+// The progress engine (paper Sec. 3.2.6 / 4.4).
+//
+// progress(): (3) retry backlogged requests; (4) poll the network device and
+// react to completions — (5) insert incoming sends into the matching engine,
+// (6) signal completion objects, (7) replenish pre-posted receives, (8) post
+// rendezvous continuations. All reactions that cannot be submitted right away
+// go to the device's backlog queue.
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/runtime_impl.hpp"
+#include "util/log.hpp"
+
+namespace lci::detail {
+
+using counter_id_t = detail::counter_id_t;
+
+namespace {
+
+// Scatters `size` bytes into a buffer list (buffer-list receives).
+void scatter(const char* src, std::size_t size,
+             const std::vector<buffer_t>& list) {
+  std::size_t offset = 0;
+  for (const buffer_t& b : list) {
+    if (offset >= size) break;
+    const std::size_t chunk = std::min(b.size, size - offset);
+    std::memcpy(b.base, src + offset, chunk);
+    offset += chunk;
+  }
+  assert(offset == size && "buffer list smaller than the incoming message");
+}
+
+struct rtr_msg_t {
+  msg_header_t header;
+  rtr_payload_t payload;
+};
+
+}  // namespace
+
+status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
+                  uint32_t pending_id, net::mr_id_t mr) {
+  rtr_msg_t msg;
+  msg.header.kind = msg_header_t::rtr;
+  msg.payload.rdv_id = rdv_id;
+  msg.payload.pending_id = pending_id;
+  msg.payload.mr_id = mr;
+  const auto result =
+      device->net().post_send(peer_rank, &msg, sizeof(msg), 0, nullptr);
+  status_t status;
+  status.error = map_net_result(result);
+  return status;
+}
+
+void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
+                           int peer_rank, tag_t tag, uint32_t rdv_id,
+                           uint64_t total_size, rdv_recv_t state) {
+  if (total_size > state.size)
+    throw fatal_error_t("rendezvous message larger than the receive buffer");
+  state.size = static_cast<std::size_t>(total_size);
+  state.peer_rank = peer_rank;
+  state.tag = tag;
+  if (!state.list.empty()) {
+    // Buffer-list receive: the RDMA write needs one contiguous registered
+    // region; land in runtime staging and scatter at FIN.
+    state.buffer = std::malloc(state.size ? state.size : 1);
+  }
+  state.mr = runtime->net_context().register_memory(state.buffer, state.size);
+  const net::mr_id_t mr = state.mr;
+  const uint32_t pending_id =
+      runtime->pending_recvs().add(std::move(state));
+  const status_t status = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+  if (status.error.is_retry()) {
+    // (8): the progress engine cannot keep retrying; push onto the backlog.
+    LCI_LOG_(debug, "rank %d: RTR to %d backlogged (pending %u)",
+             runtime->rank(), peer_rank, pending_id);
+    runtime->counters().add(counter_id_t::backlog_pushed);
+    device->backlog().push([device, peer_rank, rdv_id, pending_id, mr]() {
+      return send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+    });
+  }
+}
+
+void complete_eager_recv(recv_entry_t* entry, int peer_rank, tag_t tag,
+                         const char* data, std::size_t size,
+                         status_t* out_status, bool signal) {
+  status_t status;
+  status.error.code = errorcode_t::done;
+  status.rank = peer_rank;
+  status.tag = tag;
+  status.user_context = entry->user_context;
+  if (!entry->list.empty()) {
+    scatter(data, size, entry->list);
+    status.buffer = buffer_t{nullptr, size};
+  } else {
+    if (size > entry->size)
+      throw fatal_error_t("incoming message larger than the receive buffer");
+    std::memcpy(entry->buffer, data, size);
+    status.buffer = buffer_t{entry->buffer, size};
+  }
+  if (signal) signal_comp(entry->comp, status);
+  if (out_status != nullptr) *out_status = status;
+  delete entry;
+}
+
+// ---------------------------------------------------------------------------
+// CQE handling
+// ---------------------------------------------------------------------------
+
+void device_impl_t::handle_recv(const net::cqe_t& cqe) {
+  auto* packet = static_cast<packet_t*>(cqe.user_context);
+  const auto* header = static_cast<const msg_header_t*>(cqe.buffer);
+  const char* data =
+      static_cast<const char*>(cqe.buffer) + sizeof(msg_header_t);
+  const std::size_t data_size = cqe.length - sizeof(msg_header_t);
+  const auto policy = static_cast<matching_policy_t>(header->policy);
+
+  switch (header->kind) {
+    case msg_header_t::eager_send: {
+      matching_engine_impl_t* engine =
+          runtime_->lookup_engine(header->engine_id);
+      if (engine == nullptr)
+        throw fatal_error_t("message names an unknown matching engine");
+      packet->peer_rank = cqe.peer_rank;
+      packet->payload_size = static_cast<uint32_t>(data_size);
+      const auto key = engine->make_key(cqe.peer_rank, header->tag, policy);
+      void* matched =
+          engine->insert(key, packet, matching_engine_impl_t::type_t::send);
+      if (matched == nullptr) return;  // unexpected: packet retained
+      auto* entry = static_cast<recv_entry_t*>(matched);
+      runtime_->counters().add(counter_id_t::recv_matched);
+      complete_eager_recv(entry, cqe.peer_rank, header->tag, data, data_size,
+                          nullptr, /*signal=*/true);
+      packet->pool->put(packet);
+      return;
+    }
+    case msg_header_t::eager_am: {
+      comp_impl_t* comp = runtime_->lookup_rcomp(header->rcomp);
+      if (comp == nullptr)
+        throw fatal_error_t("active message names an unknown rcomp");
+      runtime_->counters().add(counter_id_t::am_delivered);
+      status_t status;
+      status.error.code = errorcode_t::done;
+      status.rank = cqe.peer_rank;
+      status.tag = header->tag;
+      if (runtime_->attr().am_deliver_packets) {
+        // Deliver inside the packet (no copy); the consumer returns it with
+        // release_am_packet (Sec. 3.3.1).
+        status.buffer = buffer_t{const_cast<char*>(data), data_size};
+        comp->signal(status);
+      } else {
+        // Deliver in a plain buffer the upper layer frees with std::free.
+        void* buf = std::malloc(data_size ? data_size : 1);
+        std::memcpy(buf, data, data_size);
+        status.buffer = buffer_t{buf, data_size};
+        comp->signal(status);
+        packet->pool->put(packet);
+      }
+      return;
+    }
+    case msg_header_t::rts: {
+      matching_engine_impl_t* engine =
+          runtime_->lookup_engine(header->engine_id);
+      if (engine == nullptr)
+        throw fatal_error_t("RTS names an unknown matching engine");
+      packet->peer_rank = cqe.peer_rank;
+      packet->payload_size = static_cast<uint32_t>(data_size);
+      const auto key = engine->make_key(cqe.peer_rank, header->tag, policy);
+      void* matched =
+          engine->insert(key, packet, matching_engine_impl_t::type_t::send);
+      if (matched == nullptr) return;  // no receive yet: packet retained
+      auto* entry = static_cast<recv_entry_t*>(matched);
+      runtime_->counters().add(counter_id_t::recv_matched);
+      rts_payload_t rts;
+      std::memcpy(&rts, data, sizeof(rts));
+      rdv_recv_t state;
+      state.buffer = entry->buffer;
+      state.size = entry->size;
+      state.comp = entry->comp;
+      state.user_context = entry->user_context;
+      state.list = std::move(entry->list);
+      delete entry;
+      start_rendezvous_recv(runtime_, this, cqe.peer_rank, header->tag,
+                            rts.rdv_id, rts.size, std::move(state));
+      packet->pool->put(packet);
+      return;
+    }
+    case msg_header_t::rts_am: {
+      rts_payload_t rts;
+      std::memcpy(&rts, data, sizeof(rts));
+      rdv_recv_t state;
+      state.size = static_cast<std::size_t>(rts.size);
+      state.buffer = std::malloc(state.size ? state.size : 1);
+      state.comp = runtime_->lookup_rcomp(header->rcomp);
+      state.runtime_owned_buffer = false;  // ownership passes to the client
+      start_rendezvous_recv(runtime_, this, cqe.peer_rank, header->tag,
+                            rts.rdv_id, rts.size, std::move(state));
+      packet->pool->put(packet);
+      return;
+    }
+    case msg_header_t::rtr: {
+      rtr_payload_t rtr;
+      std::memcpy(&rtr, data, sizeof(rtr));
+      rdv_send_t send;
+      if (!runtime_->pending_sends().take(rtr.rdv_id, &send))
+        throw fatal_error_t("RTR for an unknown rendezvous send");
+      const void* src = send.staged ? send.staged.get() : send.buffer;
+      auto* ctx = new op_ctx_t;
+      ctx->kind = ctx_kind_t::rdv_write;
+      ctx->comp = send.comp;
+      ctx->user_context = send.user_context;
+      ctx->buffer = send.buffer;
+      ctx->size = send.size;
+      ctx->rank = send.peer_rank;
+      ctx->tag = send.tag;
+      // Keep the staged gather alive until the write completes.
+      char* staged = send.staged.release();
+      const int peer = cqe.peer_rank;
+      const net::mr_id_t mr = rtr.mr_id;
+      const uint32_t imm = encode_fin_imm(rtr.pending_id);
+      auto attempt = [this, peer, src, mr, imm, ctx, staged]() {
+        status_t status;
+        status.error = map_net_result(net_device_->post_write(
+            peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
+        if (!status.error.is_retry()) delete[] staged;  // freed on submission
+        return status;
+      };
+      const status_t status = attempt();
+      if (status.error.is_retry()) {
+        LCI_LOG_(debug, "rank %d: rendezvous write to %d backlogged",
+                 runtime_->rank(), cqe.peer_rank);
+        runtime_->counters().add(counter_id_t::backlog_pushed);
+        backlog_.push(attempt);
+      }
+      packet->pool->put(packet);
+      return;
+    }
+  }
+  throw fatal_error_t("corrupt message header");
+}
+
+bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
+  switch (cqe.op) {
+    case net::op_t::send:
+      // Eager sends complete at posting time (the buffer was copied); the
+      // CQE itself needs no action.
+      return false;
+    case net::op_t::recv:
+      handle_recv(cqe);
+      return true;
+    case net::op_t::write:
+    case net::op_t::read: {
+      if (cqe.user_context == nullptr) return false;
+      auto* ctx = static_cast<op_ctx_t*>(cqe.user_context);
+      status_t status;
+      status.error.code = errorcode_t::done;
+      status.rank = ctx->rank;
+      status.tag = ctx->tag;
+      status.buffer = buffer_t{ctx->buffer, ctx->size};
+      status.user_context = ctx->user_context;
+      signal_comp(ctx->comp, status);
+      delete ctx;
+      return true;
+    }
+    case net::op_t::remote_write:
+    case net::op_t::remote_read: {
+      if (imm_is_fin(cqe.imm)) {
+        rdv_recv_t state;
+        if (!runtime_->pending_recvs().take(imm_fin_pending_id(cqe.imm),
+                                            &state))
+          throw fatal_error_t("FIN for an unknown rendezvous receive");
+        runtime_->net_context().deregister_memory(state.mr);
+        status_t status;
+        status.error.code = errorcode_t::done;
+        status.rank = state.peer_rank;
+        status.tag = state.tag;
+        status.user_context = state.user_context;
+        if (!state.list.empty()) {
+          // Buffer-list receive: scatter out of the runtime staging buffer.
+          scatter(static_cast<const char*>(state.buffer), state.size,
+                  state.list);
+          std::free(state.buffer);
+          status.buffer = buffer_t{nullptr, state.size};
+        } else {
+          status.buffer = buffer_t{state.buffer, state.size};
+        }
+        signal_comp(state.comp, status);
+        return true;
+      }
+      // RMA-with-signal notification at the target.
+      comp_impl_t* comp = runtime_->lookup_rcomp(imm_signal_rcomp(cqe.imm));
+      if (comp != nullptr) {
+        status_t status;
+        status.error.code = errorcode_t::done;
+        status.rank = cqe.peer_rank;
+        status.tag = imm_signal_tag(cqe.imm);
+        status.buffer = buffer_t{nullptr, cqe.length};
+        comp->signal(status);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool device_impl_t::progress() {
+  runtime_->counters().add(counter_id_t::progress_calls);
+  bool advanced = false;
+  // (3) Backlogged requests first: they are older than anything in the CQ.
+  advanced |= backlog_.progress();
+  // (4) Poll the device.
+  net::cqe_t cqes[32];
+  const auto polled = net_device_->poll_cq(cqes, 32);
+  for (std::size_t i = 0; i < polled.count; ++i) {
+    const bool did = handle_cqe(cqes[i]);
+    advanced = advanced || did || cqes[i].op != net::op_t::send;
+  }
+  // (7) Keep the receive queue full.
+  advanced |= replenish_preposts();
+  return advanced;
+}
+
+}  // namespace lci::detail

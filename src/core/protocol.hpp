@@ -1,0 +1,72 @@
+// Wire protocol of the LCI runtime (paper Sec. 4.3 / 4.4).
+//
+// Send-receive and active messages use three protocols by message size:
+//   inject      (size <= max_inject_size): header+data assembled on the stack
+//               and handed to the network, no packet consumed;
+//   buffer-copy (size <= eager threshold): header+data staged in a packet;
+//   zero-copy   (larger): RTS -> match -> RTR -> RDMA write with immediate
+//               ("FIN") rendezvous.
+// Put/get translate directly to network write/read; put-with-signal uses
+// write-with-immediate, get-with-signal uses the simulated fabric's
+// read-with-notification extension.
+#pragma once
+
+#include <cstdint>
+
+#include "core/lci.hpp"
+
+namespace lci::detail {
+
+struct msg_header_t {
+  enum kind_t : uint8_t {
+    eager_send,  // matched against posted receives
+    eager_am,    // delivered to the rcomp completion object
+    rts,         // rendezvous request for a send-receive
+    rts_am,      // rendezvous request for an active message
+    rtr,         // rendezvous reply (ready to receive)
+  };
+
+  uint8_t kind = eager_send;
+  uint8_t policy = 0;      // matching_policy_t used by the sender
+  uint16_t engine_id = 0;  // matching engine the target should match in
+  tag_t tag = 0;
+  rcomp_t rcomp = rcomp_null;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(msg_header_t) == 16);
+
+struct rts_payload_t {
+  uint64_t size = 0;     // total message size
+  uint32_t rdv_id = 0;   // source-side pending-operation id
+  uint32_t reserved = 0;
+};
+
+struct rtr_payload_t {
+  uint32_t rdv_id = 0;      // echoed source-side id
+  uint32_t pending_id = 0;  // target-side pending-receive id
+  uint32_t mr_id = 0;       // registered target buffer
+  uint32_t reserved = 0;
+};
+
+// Immediate-data encoding (32 bits):
+//   bit 31 = 1: rendezvous FIN; bits 0..30 carry the target pending id.
+//   bit 31 = 0: RMA notification; bits 16..30 carry the tag (15 bits) and
+//               bits 0..15 the rcomp. put/get-with-signal therefore require
+//               rcomp < 2^16 and tag < 2^15 (documented API limit).
+inline constexpr uint32_t imm_fin_flag = 0x80000000u;
+
+inline uint32_t encode_fin_imm(uint32_t pending_id) {
+  return imm_fin_flag | pending_id;
+}
+inline uint32_t encode_signal_imm(rcomp_t rcomp, tag_t tag) {
+  return (static_cast<uint32_t>(tag & 0x7fffu) << 16) |
+         static_cast<uint32_t>(rcomp & 0xffffu);
+}
+inline bool imm_is_fin(uint32_t imm) { return (imm & imm_fin_flag) != 0; }
+inline uint32_t imm_fin_pending_id(uint32_t imm) {
+  return imm & ~imm_fin_flag;
+}
+inline rcomp_t imm_signal_rcomp(uint32_t imm) { return imm & 0xffffu; }
+inline tag_t imm_signal_tag(uint32_t imm) { return (imm >> 16) & 0x7fffu; }
+
+}  // namespace lci::detail

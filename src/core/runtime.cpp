@@ -1,0 +1,208 @@
+// Runtime object: wraps default configuration and communication resources
+// (paper Sec. 3.2.2 / 4.1).
+#include <mutex>
+
+#include "core/runtime_impl.hpp"
+#include "util/log.hpp"
+#include "core/sim_internal.hpp"
+
+namespace lci::detail {
+
+runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
+                               const runtime_attr_t& attr)
+    : attr_(attr),
+      fabric_(std::move(fabric)),
+      net_context_(fabric_->create_context(rank)),
+      rank_(rank),
+      nranks_(fabric_->nranks()) {
+  if (attr_.packet_size <= sizeof(msg_header_t))
+    throw fatal_error_t("packet_size must exceed the message header size");
+  if (attr_.max_inject_size > eager_threshold())
+    throw fatal_error_t("max_inject_size must not exceed the eager threshold");
+  if (attr_.max_inject_size > 512)
+    throw fatal_error_t("max_inject_size is limited to 512 bytes");
+  default_pool_ = std::make_unique<packet_pool_impl_t>(attr_.npackets,
+                                                       attr_.packet_size);
+  default_engine_ =
+      std::make_unique<matching_engine_impl_t>(attr_.matching_engine_buckets);
+  coll_engine_ = std::make_unique<matching_engine_impl_t>(1024);
+  register_engine(default_engine_.get());  // id 0
+  register_engine(coll_engine_.get());     // id 1
+  default_device_ = std::make_unique<device_impl_t>(this, attr_.prepost_depth);
+  LCI_LOG_(info,
+           "runtime up: rank %d/%d packet_size=%zu npackets=%zu "
+           "buckets=%zu",
+           rank_, nranks_, attr_.packet_size, attr_.npackets,
+           attr_.matching_engine_buckets);
+}
+
+runtime_impl_t::~runtime_impl_t() {
+  if (util::log_enabled(util::log_level_t::info)) {
+    const counters_t c = counters_.snapshot();
+    LCI_LOG_(info,
+             "runtime down: rank %d sends inj/bcopy/rdv=%lu/%lu/%lu "
+             "matched=%lu am=%lu retries lock/pkt/mem=%lu/%lu/%lu backlog=%lu",
+             rank_, c.send_inject, c.send_bcopy, c.send_rdv, c.recv_matched,
+             c.am_delivered, c.retry_lock, c.retry_nopacket, c.retry_nomem,
+             c.backlog_pushed);
+  }
+}
+
+rcomp_t runtime_impl_t::register_rcomp(comp_impl_t* comp) {
+  std::lock_guard<util::spinlock_t> guard(rcomp_lock_);
+  if (!rcomp_freelist_.empty()) {
+    const rcomp_t id = rcomp_freelist_.back();
+    rcomp_freelist_.pop_back();
+    rcomp_registry_.put(id, comp);
+    return id;
+  }
+  return static_cast<rcomp_t>(rcomp_registry_.push_back(comp));
+}
+
+void runtime_impl_t::deregister_rcomp(rcomp_t rcomp) {
+  std::lock_guard<util::spinlock_t> guard(rcomp_lock_);
+  rcomp_registry_.put(rcomp, nullptr);
+  rcomp_freelist_.push_back(rcomp);
+}
+
+comp_impl_t* runtime_impl_t::lookup_rcomp(rcomp_t rcomp) const {
+  if (rcomp == rcomp_null || rcomp >= rcomp_registry_.size()) return nullptr;
+  return rcomp_registry_.get(rcomp);
+}
+
+uint16_t runtime_impl_t::register_engine(matching_engine_impl_t* engine) {
+  std::lock_guard<util::spinlock_t> guard(engine_lock_);
+  uint16_t id;
+  if (!engine_freelist_.empty()) {
+    id = engine_freelist_.back();
+    engine_freelist_.pop_back();
+    engine_registry_.put(id, engine);
+  } else {
+    id = static_cast<uint16_t>(engine_registry_.push_back(engine));
+  }
+  engine->set_id(id);
+  return id;
+}
+
+void runtime_impl_t::deregister_engine(uint16_t id) {
+  std::lock_guard<util::spinlock_t> guard(engine_lock_);
+  engine_registry_.put(id, nullptr);
+  engine_freelist_.push_back(id);
+}
+
+matching_engine_impl_t* runtime_impl_t::lookup_engine(uint16_t id) const {
+  if (id >= engine_registry_.size()) return nullptr;
+  return engine_registry_.get(id);
+}
+
+runtime_impl_t* resolve_runtime(runtime_t runtime) {
+  if (runtime.p != nullptr) return runtime.p;
+  runtime_t g = get_g_runtime();
+  if (g.p == nullptr)
+    throw fatal_error_t(
+        "no runtime: pass one explicitly or call g_runtime_init first");
+  return g.p;
+}
+
+}  // namespace lci::detail
+
+namespace lci {
+
+int get_rank_me(runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->rank();
+}
+
+int get_rank_n(runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->nranks();
+}
+
+counters_t get_counters(runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->counters().snapshot();
+}
+
+void reset_counters(runtime_t runtime) {
+  detail::resolve_runtime(runtime)->counters().reset();
+}
+
+matching_engine_t alloc_matching_engine(runtime_t runtime,
+                                        std::size_t num_buckets) {
+  auto* rt = detail::resolve_runtime(runtime);
+  matching_engine_t engine;
+  engine.p = new detail::matching_engine_impl_t(
+      num_buckets ? num_buckets : rt->attr().matching_engine_buckets);
+  rt->register_engine(engine.p);
+  engine.p->owner = rt;
+  return engine;
+}
+
+void free_matching_engine(matching_engine_t* engine) {
+  if (engine == nullptr || engine->p == nullptr) return;
+  engine->p->owner->deregister_engine(engine->p->id());
+  delete engine->p;
+  engine->p = nullptr;
+}
+
+packet_pool_t alloc_packet_pool(runtime_t runtime, std::size_t npackets,
+                                std::size_t packet_size) {
+  auto* rt = detail::resolve_runtime(runtime);
+  packet_pool_t pool;
+  pool.p = new detail::packet_pool_impl_t(
+      npackets ? npackets : rt->attr().npackets,
+      packet_size ? packet_size : rt->attr().packet_size);
+  return pool;
+}
+
+void free_packet_pool(packet_pool_t* pool) {
+  if (pool == nullptr || pool->p == nullptr) return;
+  delete pool->p;
+  pool->p = nullptr;
+}
+
+mr_t register_memory(void* base, std::size_t size, runtime_t runtime) {
+  auto* rt = detail::resolve_runtime(runtime);
+  mr_t mr;
+  mr.id = rt->net_context().register_memory(base, size);
+  mr.runtime = rt;
+  return mr;
+}
+
+void deregister_memory(mr_t* mr) {
+  if (mr == nullptr || !mr->is_valid()) return;
+  mr->runtime->net_context().deregister_memory(mr->id);
+  mr->id = net::invalid_mr;
+  mr->runtime = nullptr;
+}
+
+packet_handle_t get_packet(runtime_t runtime, packet_pool_t pool) {
+  auto* rt = detail::resolve_runtime(runtime);
+  detail::packet_pool_impl_t* p = pool.p != nullptr ? pool.p
+                                                    : &rt->default_pool();
+  detail::packet_t* packet = p->get();
+  packet_handle_t handle;
+  if (packet == nullptr) return handle;  // exhaustion: invalid handle
+  handle.address = packet->payload() + sizeof(detail::msg_header_t);
+  handle.capacity = p->packet_capacity() - sizeof(detail::msg_header_t);
+  return handle;
+}
+
+void put_packet(packet_handle_t handle) {
+  if (!handle.is_valid()) return;
+  auto* packet = detail::packet_t::from_payload(
+      static_cast<char*>(handle.address) - sizeof(detail::msg_header_t));
+  packet->pool->put(packet);
+}
+
+void release_am_packet(const status_t& status) {
+  if (status.buffer.base == nullptr) return;
+  auto* packet = detail::packet_t::from_payload(
+      static_cast<char*>(status.buffer.base) - sizeof(detail::msg_header_t));
+  packet->pool->put(packet);
+}
+
+rmr_t get_rmr(mr_t mr) {
+  rmr_t rmr;
+  rmr.id = mr.id;
+  return rmr;
+}
+
+}  // namespace lci

@@ -1,0 +1,310 @@
+// Internal runtime, device, backlog-queue, and rendezvous bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/comp_impl.hpp"
+#include "core/counters.hpp"
+#include "core/lci.hpp"
+#include "core/matching.hpp"
+#include "core/packet.hpp"
+#include "core/protocol.hpp"
+#include "net/net.hpp"
+#include "util/mpmc_array.hpp"
+#include "util/spinlock.hpp"
+
+namespace lci::detail {
+
+// ---------------------------------------------------------------------------
+// Backlog queue (paper Sec. 4.1.5): holds communication requests that could
+// not be submitted and cannot be bounced back to the user. Rarely used, so a
+// simple locked deque suffices; the atomic flag keeps the progress engine
+// from probing an empty queue.
+// ---------------------------------------------------------------------------
+class backlog_queue_t {
+ public:
+  // A backlogged operation: returns a status; retry-category => stay queued.
+  using op_t = std::function<status_t()>;
+
+  void push(op_t op) {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    queue_.push_back(std::move(op));
+    nonempty_.store(true, std::memory_order_release);
+  }
+
+  // Retries queued operations in order; stops at the first one that still
+  // cannot be submitted. Returns true if any operation was retired.
+  bool progress() {
+    if (!nonempty_.load(std::memory_order_acquire)) return false;
+    bool advanced = false;
+    while (true) {
+      op_t op;
+      {
+        std::lock_guard<util::spinlock_t> guard(lock_);
+        if (queue_.empty()) {
+          nonempty_.store(false, std::memory_order_release);
+          return advanced;
+        }
+        op = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      const status_t status = op();
+      if (status.error.is_retry()) {
+        std::lock_guard<util::spinlock_t> guard(lock_);
+        queue_.push_front(std::move(op));
+        return advanced;
+      }
+      advanced = true;
+    }
+  }
+
+  std::size_t size_approx() const {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    return queue_.size();
+  }
+
+ private:
+  mutable util::spinlock_t lock_;
+  std::deque<op_t> queue_;
+  std::atomic<bool> nonempty_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Rendezvous bookkeeping (runtime-wide: the RTR and FIN for one message can
+// arrive on different devices than the RTS left from).
+// ---------------------------------------------------------------------------
+struct rdv_send_t {
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  comp_impl_t* comp = nullptr;
+  void* user_context = nullptr;
+  int peer_rank = -1;
+  tag_t tag = 0;
+  // Buffer-list sends stage a gathered copy here (see DESIGN.md: the
+  // simulated fabric transfers one contiguous region per RDMA write).
+  std::unique_ptr<char[]> staged;
+};
+
+struct rdv_recv_t {
+  void* buffer = nullptr;
+  std::size_t size = 0;       // actual transfer size
+  comp_impl_t* comp = nullptr;
+  void* user_context = nullptr;
+  int peer_rank = -1;
+  tag_t tag = 0;
+  net::mr_id_t mr = net::invalid_mr;
+  bool runtime_owned_buffer = false;  // true for large active messages
+  // Buffer-list receives land in `buffer` (runtime staging) and scatter into
+  // `list` at FIN.
+  std::vector<buffer_t> list;
+};
+
+template <typename T>
+class pending_table_t {
+ public:
+  uint32_t add(T state) {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    const uint32_t id = next_id_++ & 0x7fffffffu;  // ids fit FIN immediates
+    map_.emplace(id, std::move(state));
+    return id;
+  }
+  bool take(uint32_t id, T* out) {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    auto it = map_.find(id);
+    if (it == map_.end()) return false;
+    *out = std::move(it->second);
+    map_.erase(it);
+    return true;
+  }
+  std::size_t size() const {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    return map_.size();
+  }
+
+ private:
+  mutable util::spinlock_t lock_;
+  std::unordered_map<uint32_t, T> map_;
+  uint32_t next_id_ = 1;
+};
+
+// Receive descriptor stored in the matching engine for posted receives.
+struct recv_entry_t {
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  comp_impl_t* comp = nullptr;
+  void* user_context = nullptr;
+  int rank = -1;  // as posted (may be wildcarded by policy)
+  tag_t tag = 0;
+  std::vector<buffer_t> list;  // buffer-list receive (empty: single buffer)
+};
+
+// Context attached to network operations so completions can be dispatched.
+enum class ctx_kind_t : uint8_t { rdv_write, rma_put, rma_get };
+struct op_ctx_t {
+  ctx_kind_t kind = ctx_kind_t::rma_put;
+  comp_impl_t* comp = nullptr;
+  void* user_context = nullptr;
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  int rank = -1;
+  tag_t tag = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+class device_impl_t {
+ public:
+  device_impl_t(runtime_impl_t* runtime, std::size_t prepost_depth);
+  ~device_impl_t();
+  device_impl_t(const device_impl_t&) = delete;
+  device_impl_t& operator=(const device_impl_t&) = delete;
+
+  runtime_impl_t* runtime() const noexcept { return runtime_; }
+  net::device_t& net() noexcept { return *net_device_; }
+  backlog_queue_t& backlog() noexcept { return backlog_; }
+  std::size_t prepost_depth() const noexcept { return prepost_depth_; }
+
+  bool progress();  // defined in progress.cpp
+
+ private:
+  bool replenish_preposts();
+  bool handle_cqe(const net::cqe_t& cqe);
+  void handle_recv(const net::cqe_t& cqe);
+
+  runtime_impl_t* const runtime_;
+  const std::size_t prepost_depth_;
+  std::unique_ptr<net::device_t> net_device_;
+  backlog_queue_t backlog_;
+};
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+class runtime_impl_t {
+ public:
+  runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
+                 const runtime_attr_t& attr);
+  ~runtime_impl_t();
+  runtime_impl_t(const runtime_impl_t&) = delete;
+  runtime_impl_t& operator=(const runtime_impl_t&) = delete;
+
+  const runtime_attr_t& attr() const noexcept { return attr_; }
+  int rank() const noexcept { return rank_; }
+  int nranks() const noexcept { return nranks_; }
+  net::context_t& net_context() noexcept { return *net_context_; }
+
+  packet_pool_impl_t& default_pool() noexcept { return *default_pool_; }
+  matching_engine_impl_t& default_engine() noexcept { return *default_engine_; }
+  matching_engine_impl_t& coll_engine() noexcept { return *coll_engine_; }
+  device_impl_t& default_device() noexcept { return *default_device_; }
+
+  // Eager threshold: the largest user payload that fits a packet together
+  // with the message header.
+  std::size_t eager_threshold() const noexcept {
+    return attr_.packet_size - sizeof(msg_header_t);
+  }
+
+  // Remote-completion registry (MPMC array: lock-free lookup on the AM path).
+  rcomp_t register_rcomp(comp_impl_t* comp);
+  void deregister_rcomp(rcomp_t rcomp);
+  comp_impl_t* lookup_rcomp(rcomp_t rcomp) const;
+
+  // Matching-engine registry (ids travel in message headers; default engine
+  // is id 0, the collective engine id 1).
+  uint16_t register_engine(matching_engine_impl_t* engine);
+  void deregister_engine(uint16_t id);
+  matching_engine_impl_t* lookup_engine(uint16_t id) const;
+
+  pending_table_t<rdv_send_t>& pending_sends() noexcept {
+    return pending_sends_;
+  }
+  pending_table_t<rdv_recv_t>& pending_recvs() noexcept {
+    return pending_recvs_;
+  }
+
+  uint32_t next_collective_seq() noexcept {
+    return coll_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  detail::counter_block_t& counters() noexcept { return counters_; }
+
+ private:
+  const runtime_attr_t attr_;
+  std::shared_ptr<net::fabric_t> fabric_;
+  std::unique_ptr<net::context_t> net_context_;
+  const int rank_;
+  const int nranks_;
+
+  std::unique_ptr<packet_pool_impl_t> default_pool_;
+  std::unique_ptr<matching_engine_impl_t> default_engine_;
+  std::unique_ptr<matching_engine_impl_t> coll_engine_;
+  std::unique_ptr<device_impl_t> default_device_;
+
+  util::mpmc_array_t<comp_impl_t*> rcomp_registry_{64};
+  util::spinlock_t rcomp_lock_;
+  std::vector<rcomp_t> rcomp_freelist_;  // guarded by rcomp_lock_
+
+  util::mpmc_array_t<matching_engine_impl_t*> engine_registry_{16};
+  util::spinlock_t engine_lock_;
+  std::vector<uint16_t> engine_freelist_;  // guarded by engine_lock_
+
+  pending_table_t<rdv_send_t> pending_sends_;
+  pending_table_t<rdv_recv_t> pending_recvs_;
+
+  std::atomic<uint32_t> coll_seq_{0};
+  detail::counter_block_t counters_;
+};
+
+// Resolves optional-argument defaults for the posting/progress paths.
+runtime_impl_t* resolve_runtime(runtime_t runtime);
+
+// --------------------------------------------------------------------------
+// Protocol helpers shared by the posting path (post.cpp) and the progress
+// engine (progress.cpp). See Sec. 4.4: both paths can find a match in the
+// matching engine and continue the rendezvous protocol.
+// --------------------------------------------------------------------------
+
+inline void signal_comp(comp_impl_t* comp, const status_t& status) {
+  if (comp != nullptr) comp->signal(status);
+}
+
+inline error_t map_net_result(net::post_result_t result) {
+  switch (result) {
+    case net::post_result_t::ok:
+      return error_t{errorcode_t::done};
+    case net::post_result_t::retry_lock:
+      return error_t{errorcode_t::retry_lock};
+    case net::post_result_t::retry_full:
+      return error_t{errorcode_t::retry_nomem};
+    case net::post_result_t::retry_nobuf:
+      return error_t{errorcode_t::retry_nopacket};
+  }
+  return error_t{errorcode_t::retry};
+}
+
+// Sends the RTR handshake for a matched rendezvous. Returns done/retry.
+status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
+                  uint32_t pending_id, net::mr_id_t mr);
+
+// Continues a matched rendezvous on the receive side: registers the target
+// buffer, records the pending receive, and sends the RTR (falling back to the
+// device backlog when the network pushes back).
+void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
+                           int peer_rank, tag_t tag, uint32_t rdv_id,
+                           uint64_t total_size, rdv_recv_t state);
+
+// Delivers an eager payload into a matched receive and signals its comp.
+// Consumes (deletes) the entry.
+void complete_eager_recv(recv_entry_t* entry, int peer_rank, tag_t tag,
+                         const char* data, std::size_t size,
+                         status_t* out_status, bool signal);
+
+}  // namespace lci::detail

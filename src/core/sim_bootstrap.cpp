@@ -1,0 +1,136 @@
+// Simulated multi-rank bootstrap: the stand-in for the paper's PMI-based
+// bootstrapping backends (see DESIGN.md).
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runtime_impl.hpp"
+#include "core/sim_internal.hpp"
+
+namespace lci::sim {
+
+namespace detail_sim {
+
+binding_t& tls_binding() {
+  thread_local binding_t binding;
+  return binding;
+}
+
+binding_t ensure_binding() {
+  binding_t& binding = tls_binding();
+  if (!binding) {
+    auto ctx = std::make_shared<rank_ctx_t>();
+    ctx->fabric = net::create_sim_fabric(1);
+    ctx->rank = 0;
+    binding = ctx;
+  }
+  return binding;
+}
+
+}  // namespace detail_sim
+
+struct world_t::impl_t {
+  std::shared_ptr<net::fabric_t> fabric;
+  std::vector<binding_t> bindings;
+};
+
+world_t::world_t(int nranks, const net::config_t& config)
+    : impl_(std::make_unique<impl_t>()) {
+  impl_->fabric = net::create_sim_fabric(nranks, config);
+  impl_->bindings.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto ctx = std::make_shared<detail_sim::rank_ctx_t>();
+    ctx->fabric = impl_->fabric;
+    ctx->rank = r;
+    impl_->bindings.push_back(std::move(ctx));
+  }
+}
+
+world_t::~world_t() = default;
+
+int world_t::nranks() const {
+  return static_cast<int>(impl_->bindings.size());
+}
+
+binding_t world_t::binding(int rank) const {
+  return impl_->bindings.at(static_cast<std::size_t>(rank));
+}
+
+void bind(binding_t binding) { detail_sim::tls_binding() = std::move(binding); }
+
+binding_t current_binding() { return detail_sim::tls_binding(); }
+
+void spawn(int nranks, const std::function<void(int rank)>& fn,
+           const net::config_t& config) {
+  world_t world(nranks, config);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      scoped_binding_t binding(world.binding(r));
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lci::sim
+
+namespace lci {
+
+// ---------------------------------------------------------------------------
+// Global default runtime lifecycle (Sec. 3.2.2): reference-counted per rank.
+// ---------------------------------------------------------------------------
+
+runtime_t g_runtime_init(const runtime_attr_t& attr) {
+  auto binding = sim::detail_sim::ensure_binding();
+  std::lock_guard<util::spinlock_t> guard(binding->lock);
+  if (binding->g_refcount++ == 0) {
+    binding->g_runtime.p =
+        new detail::runtime_impl_t(binding->fabric, binding->rank, attr);
+  }
+  return binding->g_runtime;
+}
+
+void g_runtime_fina() {
+  auto binding = sim::current_binding();
+  if (!binding) throw fatal_error_t("g_runtime_fina: thread is not bound");
+  std::lock_guard<util::spinlock_t> guard(binding->lock);
+  if (binding->g_refcount <= 0)
+    throw fatal_error_t("g_runtime_fina without matching g_runtime_init");
+  if (--binding->g_refcount == 0) {
+    delete binding->g_runtime.p;
+    binding->g_runtime = {};
+  }
+}
+
+runtime_t get_g_runtime() {
+  auto binding = sim::current_binding();
+  if (!binding) return {};
+  std::lock_guard<util::spinlock_t> guard(binding->lock);
+  return binding->g_runtime;
+}
+
+runtime_t alloc_runtime(const runtime_attr_t& attr) {
+  auto binding = sim::detail_sim::ensure_binding();
+  runtime_t runtime;
+  runtime.p = new detail::runtime_impl_t(binding->fabric, binding->rank, attr);
+  return runtime;
+}
+
+void free_runtime(runtime_t* runtime) {
+  if (runtime == nullptr || runtime->p == nullptr) return;
+  delete runtime->p;
+  runtime->p = nullptr;
+}
+
+}  // namespace lci

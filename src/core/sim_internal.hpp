@@ -1,0 +1,27 @@
+// Internal glue between the sim bootstrap and the runtime lifecycle.
+#pragma once
+
+#include <memory>
+
+#include "core/lci.hpp"
+#include "util/spinlock.hpp"
+
+namespace lci::sim::detail_sim {
+
+// Per-rank context shared by every thread bound to that rank.
+struct rank_ctx_t {
+  std::shared_ptr<net::fabric_t> fabric;
+  int rank = 0;
+  util::spinlock_t lock;           // guards g_runtime / g_refcount
+  lci::runtime_t g_runtime{};      // the rank's global default runtime
+  int g_refcount = 0;
+};
+
+// Binding of the calling thread; null when unbound.
+binding_t& tls_binding();
+
+// Binding of the calling thread, creating an implicit single-rank world when
+// unbound (so single-process quickstarts need no explicit bootstrap).
+binding_t ensure_binding();
+
+}  // namespace lci::sim::detail_sim

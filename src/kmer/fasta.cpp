@@ -1,0 +1,129 @@
+#include "kmer/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kmer {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t line) {
+  throw std::runtime_error(std::string(what) + " at line " +
+                           std::to_string(line));
+}
+
+std::string parse_name(const std::string& line) {
+  // Marker already checked; name runs to the first whitespace.
+  std::size_t end = 1;
+  while (end < line.size() && !std::isspace(static_cast<unsigned char>(
+                                  line[end])))
+    ++end;
+  return line.substr(1, end - 1);
+}
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+std::vector<sequence_record_t> read_fasta(std::istream& in) {
+  std::vector<sequence_record_t> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    strip_cr(line);
+    if (line.empty() || line[0] == ';') continue;  // blank / comment
+    if (line[0] == '>') {
+      if (line.size() < 2) fail("empty FASTA header", lineno);
+      records.push_back({parse_name(line), {}});
+      continue;
+    }
+    if (records.empty()) fail("sequence data before any FASTA header", lineno);
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      records.back().sequence.push_back(c);
+    }
+  }
+  return records;
+}
+
+std::vector<sequence_record_t> read_fastq(std::istream& in) {
+  std::vector<sequence_record_t> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    strip_cr(line);
+    if (line.empty()) continue;
+    if (line[0] != '@' || line.size() < 2)
+      fail("expected FASTQ @header", lineno);
+    sequence_record_t record{parse_name(line), {}};
+
+    if (!std::getline(in, record.sequence)) fail("missing sequence", lineno);
+    ++lineno;
+    strip_cr(record.sequence);
+
+    if (!std::getline(in, line)) fail("missing '+' separator", lineno);
+    ++lineno;
+    strip_cr(line);
+    if (line.empty() || line[0] != '+') fail("expected '+' separator", lineno);
+
+    if (!std::getline(in, line)) fail("missing quality string", lineno);
+    ++lineno;
+    strip_cr(line);
+    if (line.size() != record.sequence.size())
+      fail("quality length differs from sequence length", lineno);
+
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void write_fasta(std::ostream& out,
+                 const std::vector<sequence_record_t>& records,
+                 std::size_t line_width) {
+  for (const auto& record : records) {
+    out << '>' << record.name << '\n';
+    if (line_width == 0) {
+      out << record.sequence << '\n';
+      continue;
+    }
+    for (std::size_t offset = 0; offset < record.sequence.size();
+         offset += line_width) {
+      out << record.sequence.substr(offset, line_width) << '\n';
+    }
+    if (record.sequence.empty()) out << '\n';
+  }
+}
+
+namespace {
+std::ifstream open_for_read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return in;
+}
+}  // namespace
+
+std::vector<sequence_record_t> read_fasta_file(const std::string& path) {
+  auto in = open_for_read(path);
+  return read_fasta(in);
+}
+
+std::vector<sequence_record_t> read_fastq_file(const std::string& path) {
+  auto in = open_for_read(path);
+  return read_fastq(in);
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<sequence_record_t>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace kmer

@@ -1,0 +1,43 @@
+// FASTA / FASTQ file I/O for the k-mer counting mini-app.
+//
+// The paper's run consumes the human chr14 read set; this reproduction ships
+// a synthetic generator (read_generator.hpp) but the pipeline should also be
+// usable with real sequence files, so this module provides minimal, strict
+// readers/writers for the two standard formats:
+//
+//   FASTA:  >name [description]        FASTQ:  @name [description]
+//           SEQUENCE (may wrap)                SEQUENCE
+//                                              +
+//                                              QUALITIES
+//
+// Quality strings are parsed but discarded (the counting pipeline does not
+// model quality-aware error correction).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kmer {
+
+struct sequence_record_t {
+  std::string name;      // up to the first whitespace after the marker
+  std::string sequence;  // concatenated, whitespace-free
+};
+
+// Readers throw std::runtime_error with a line number on malformed input.
+std::vector<sequence_record_t> read_fasta(std::istream& in);
+std::vector<sequence_record_t> read_fasta_file(const std::string& path);
+std::vector<sequence_record_t> read_fastq(std::istream& in);
+std::vector<sequence_record_t> read_fastq_file(const std::string& path);
+
+// Writer: wraps sequence lines at `line_width` characters (0 = no wrap).
+void write_fasta(std::ostream& out,
+                 const std::vector<sequence_record_t>& records,
+                 std::size_t line_width = 70);
+void write_fasta_file(const std::string& path,
+                      const std::vector<sequence_record_t>& records,
+                      std::size_t line_width = 70);
+
+}  // namespace kmer

@@ -1,0 +1,146 @@
+// Striped concurrent counting hashmap — the libcuckoo[32] stand-in for the
+// k-mer counting mini-app (see DESIGN.md substitutions).
+//
+// Open addressing with linear probing over power-of-two capacity; writers
+// take one of `num_stripes` spinlocks chosen by hash, so disjoint keys
+// rarely contend (the same property the paper gets from libcuckoo's
+// fine-grained locking). Keys are reserved up front: the k-mer pipeline
+// knows an upper bound on distinct keys, so no concurrent resize is needed —
+// insertion beyond the load-factor limit throws.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "kmer/kmer.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace kmer {
+
+class counting_hashmap_t {
+ public:
+  explicit counting_hashmap_t(std::size_t expected_keys,
+                              std::size_t num_stripes = 1024)
+      : capacity_(round_pow2(expected_keys * 2)),
+        mask_(capacity_ - 1),
+        slots_(capacity_),
+        stripes_(num_stripes ? round_pow2(num_stripes) : 1),
+        stripe_mask_(stripes_.size() - 1) {}
+
+  counting_hashmap_t(const counting_hashmap_t&) = delete;
+  counting_hashmap_t& operator=(const counting_hashmap_t&) = delete;
+
+  // Adds `delta` to the key's count, inserting it if absent.
+  void increment(kmer_t key, uint32_t delta = 1) {
+    const uint64_t hash = hash_kmer(key);
+    std::lock_guard<lci::util::spinlock_t> guard(
+        stripes_[hash & stripe_mask_].value);
+    std::size_t index = hash & mask_;
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      slot_t& slot = slots_[index];
+      const uint8_t state = slot.state.load(std::memory_order_acquire);
+      if (state == slot_t::full) {
+        if (slot.key == key) {
+          slot.count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+      } else if (state == slot_t::empty) {
+        // Claim the slot; a racing writer of a *different stripe* may be
+        // probing through, so publish with a two-phase state.
+        uint8_t expected = slot_t::empty;
+        if (slot.state.compare_exchange_strong(expected, slot_t::busy,
+                                               std::memory_order_acq_rel)) {
+          slot.key = key;
+          slot.count.store(delta, std::memory_order_relaxed);
+          slot.state.store(slot_t::full, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Lost the claim: fall through and re-inspect this slot.
+        while (slot.state.load(std::memory_order_acquire) == slot_t::busy) {
+        }
+        if (slot.state.load(std::memory_order_acquire) == slot_t::full &&
+            slot.key == key) {
+          slot.count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+      } else {  // busy: another stripe's writer is publishing
+        while (slot.state.load(std::memory_order_acquire) == slot_t::busy) {
+        }
+        if (slot.key == key) {
+          slot.count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+      }
+      index = (index + 1) & mask_;
+    }
+    throw std::length_error("counting_hashmap_t: table full");
+  }
+
+  // Count for a key (0 if absent). Safe concurrently with increments.
+  uint32_t count(kmer_t key) const noexcept {
+    std::size_t index = hash_kmer(key) & mask_;
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      const slot_t& slot = slots_[index];
+      const uint8_t state = slot.state.load(std::memory_order_acquire);
+      if (state == slot_t::empty) return 0;
+      if (state == slot_t::full && slot.key == key)
+        return slot.count.load(std::memory_order_relaxed);
+      index = (index + 1) & mask_;
+    }
+    return 0;
+  }
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  // Histogram of counts (index = occurrence count, clamped to max_count);
+  // quiescent use only.
+  std::vector<std::size_t> histogram(std::size_t max_count = 256) const {
+    std::vector<std::size_t> hist(max_count + 1, 0);
+    for (const slot_t& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) != slot_t::full) continue;
+      const uint32_t c = slot.count.load(std::memory_order_relaxed);
+      hist[std::min<std::size_t>(c, max_count)]++;
+    }
+    return hist;
+  }
+
+  // Visits every (key, count); quiescent use only.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const slot_t& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == slot_t::full)
+        fn(slot.key, slot.count.load(std::memory_order_relaxed));
+    }
+  }
+
+ private:
+  struct slot_t {
+    enum : uint8_t { empty = 0, busy = 1, full = 2 };
+    std::atomic<uint8_t> state{empty};
+    kmer_t key = 0;
+    std::atomic<uint32_t> count{0};
+  };
+
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 16;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<slot_t> slots_;
+  std::vector<lci::util::padded<lci::util::spinlock_t>> stripes_;
+  const std::size_t stripe_mask_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace kmer

@@ -1,0 +1,24 @@
+#include "kmer/kmer.hpp"
+
+#include <cassert>
+
+namespace kmer {
+
+void extract_kmers(std::string_view read, int k, std::vector<kmer_t>& out) {
+  assert(k >= 1 && k <= max_k);
+  const kmer_t mask = (kmer_t{1} << (2 * k)) - 1;
+  kmer_t window = 0;
+  int filled = 0;
+  for (const char base : read) {
+    const int code = encode_base(base);
+    if (code < 0) {
+      filled = 0;  // restart after an ambiguous base
+      window = 0;
+      continue;
+    }
+    window = ((window << 2) | static_cast<kmer_t>(code)) & mask;
+    if (++filled >= k) out.push_back(canonical(window, k));
+  }
+}
+
+}  // namespace kmer

@@ -1,0 +1,74 @@
+// k-mer utilities for the HipMer-style counting mini-app (paper Sec. 5.3).
+//
+// A read is an error-prone sample of a DNA sequence; a k-mer is a length-k
+// substring. We 2-bit-encode bases into a 64-bit word, which supports
+// k <= 31. The paper's chr14 run uses k = 51 with the real 7.75 GB read set;
+// with synthetic data (see read_generator.hpp) a smaller k exercises the
+// identical pipeline — the substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace kmer {
+
+using kmer_t = uint64_t;
+
+inline constexpr int max_k = 31;
+
+// A=0 C=1 G=2 T=3; anything else is invalid.
+inline int encode_base(char base) noexcept {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+inline char decode_base(int code) noexcept { return "ACGT"[code & 3]; }
+
+// Reverse complement of a k-mer (the canonical representation of a k-mer is
+// min(kmer, revcomp): both strands count as the same sequence).
+inline kmer_t reverse_complement(kmer_t kmer, int k) noexcept {
+  kmer_t rc = 0;
+  for (int i = 0; i < k; ++i) {
+    rc = (rc << 2) | (3 - (kmer & 3));  // complement: A<->T, C<->G
+    kmer >>= 2;
+  }
+  return rc;
+}
+
+inline kmer_t canonical(kmer_t kmer, int k) noexcept {
+  const kmer_t rc = reverse_complement(kmer, k);
+  return kmer < rc ? kmer : rc;
+}
+
+// 64-bit mix (splitmix finalizer); used for ownership mapping, Bloom filter
+// probes, and the hashmap.
+inline uint64_t hash_kmer(kmer_t kmer) noexcept {
+  uint64_t z = kmer + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Extracts the canonical k-mers of a read into `out` (appending); windows
+// containing non-ACGT characters are skipped, restarting the rolling window
+// after the offending base.
+void extract_kmers(std::string_view read, int k, std::vector<kmer_t>& out);
+
+}  // namespace kmer

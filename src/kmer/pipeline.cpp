@@ -1,0 +1,348 @@
+#include "kmer/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/lci.hpp"
+#include "kmer/bloom.hpp"
+#include "kmer/fasta.hpp"
+#include "kmer/hashmap.hpp"
+#include "kmer/kmer.hpp"
+#include "lcw/lcw.hpp"
+
+namespace kmer {
+
+const char* to_string(pipeline_mode_t mode) {
+  switch (mode) {
+    case pipeline_mode_t::lci_mt:
+      return "lci_mt";
+    case pipeline_mode_t::gex_mt:
+      return "gex_mt";
+    case pipeline_mode_t::ref_st:
+      return "ref_st";
+  }
+  return "?";
+}
+
+namespace {
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// In-process barrier across all participating threads of all ranks (the
+// simulated analogue of a PMI/UPC++ barrier on the control plane).
+class barrier_t {
+ public:
+  explicit barrier_t(int count) : count_(count) {}
+  void wait() {
+    const int generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == generation)
+        std::this_thread::yield();
+    }
+  }
+
+ private:
+  const int count_;
+  std::atomic<int> arrived_{0};
+  std::atomic<int> generation_{0};
+};
+
+struct pass_sync_t {
+  explicit pass_sync_t(int nranks)
+      : expected(static_cast<std::size_t>(nranks)),
+        processed(static_cast<std::size_t>(nranks)) {
+    for (auto& e : expected) e.store(0);
+    for (auto& p : processed) p.store(0);
+  }
+  std::vector<std::atomic<long>> expected;   // k-mers destined to each rank
+  std::vector<std::atomic<long>> processed;  // k-mers consumed by each rank
+  std::atomic<int> senders_done{0};
+};
+
+struct shared_state_t {
+  shared_state_t(int nranks, int participants)
+      : pass1(nranks), pass2(nranks), barrier(participants) {}
+  pass_sync_t pass1;
+  pass_sync_t pass2;
+  barrier_t barrier;
+  std::mutex merge_lock;
+  std::vector<std::size_t> merged_histogram;
+  std::atomic<std::size_t> merged_distinct{0};
+  std::atomic<std::size_t> merged_total{0};
+  std::atomic<double> t_start{0};
+  std::atomic<double> t_end{0};
+};
+
+class rank_worker_t {
+ public:
+  rank_worker_t(const pipeline_config_t& config, int nranks, int nthreads,
+                lcw::context_t* ctx, const read_source_t& reads,
+                shared_state_t* shared)
+      : config_(config),
+        nranks_(nranks),
+        nthreads_(nthreads),
+        ctx_(ctx),
+        reads_(reads),
+        shared_(shared),
+        bloom_(bloom_size(), /*num_hashes=*/3, /*bits_per_element=*/12),
+        map_(map_size()) {}
+
+  two_layer_bloom_t& bloom() { return bloom_; }
+  counting_hashmap_t& map() { return map_; }
+
+  // Body of one worker thread (thread index t of this rank).
+  void run_thread(int t) {
+    run_pass(t, /*pass=*/1);
+    run_pass(t, /*pass=*/2);
+  }
+
+ private:
+  std::size_t bloom_size() const {
+    // Expected distinct k-mers owned by this rank: roughly the total read
+    // bases (each position yields at most one k-mer), divided across ranks.
+    const std::size_t total_bases =
+        reads_.total_reads() * config_.genome.read_length;
+    return std::max<std::size_t>(config_.genome.genome_length * 2,
+                                 total_bases / 4) /
+               static_cast<std::size_t>(nranks_) +
+           4096;
+  }
+  std::size_t map_size() const { return bloom_size(); }
+
+  void consume(const kmer_t* kmers, std::size_t n, int pass) {
+    if (pass == 1) {
+      for (std::size_t i = 0; i < n; ++i) bloom_.insert(kmers[i]);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (bloom_.seen_twice(kmers[i])) map_.increment(kmers[i]);
+      }
+    }
+  }
+
+  // Drains arrivals on this thread's device. Returns number of k-mers
+  // consumed.
+  long poll_arrivals(lcw::device_t* dev, int pass) {
+    long consumed = 0;
+    dev->do_progress();
+    lcw::request_t req;
+    while (dev->poll_recv(&req)) {
+      const std::size_t n = req.size / sizeof(kmer_t);
+      consume(static_cast<const kmer_t*>(req.buffer), n, pass);
+      std::free(req.buffer);
+      consumed += static_cast<long>(n);
+    }
+    lcw::request_t sreq;
+    while (dev->poll_send(&sreq)) {
+    }
+    return consumed;
+  }
+
+  void run_pass(int t, int pass) {
+    const int me = ctx_->rank();
+    pass_sync_t& sync = pass == 1 ? shared_->pass1 : shared_->pass2;
+    lcw::device_t* dev =
+        ctx_->ndevices() > 1 ? ctx_->device(t) : ctx_->device(0);
+    const int tag = ctx_->ndevices() > 1 ? t : 0;
+
+    shared_->barrier.wait();
+    if (me == 0 && t == 0 && pass == 1) shared_->t_start.store(now_sec());
+
+    // Per-destination aggregation buffers (paper: 8 KB per destination;
+    // multithreading reduces the destination count because there are far
+    // fewer processes).
+    const std::size_t capacity = config_.agg_buffer_bytes / sizeof(kmer_t);
+    std::vector<std::vector<kmer_t>> agg(static_cast<std::size_t>(nranks_));
+    for (auto& buffer : agg) buffer.reserve(capacity);
+
+    long consumed = 0;  // k-mers this thread served for its own rank
+    auto flush = [&](int dest) {
+      auto& buffer = agg[static_cast<std::size_t>(dest)];
+      if (buffer.empty()) return;
+      while (dev->post_am(dest, buffer.data(),
+                          buffer.size() * sizeof(kmer_t),
+                          tag) == lcw::post_t::retry) {
+        consumed += poll_arrivals(dev, pass);
+      }
+      sync.expected[static_cast<std::size_t>(dest)].fetch_add(
+          static_cast<long>(buffer.size()), std::memory_order_relaxed);
+      buffer.clear();
+    };
+
+    // My slice of this rank's read shard.
+    std::size_t rank_begin = 0, rank_end = 0;
+    reads_.shard(me, nranks_, &rank_begin, &rank_end);
+    const std::size_t rank_reads = rank_end - rank_begin;
+    const std::size_t per_thread =
+        (rank_reads + static_cast<std::size_t>(nthreads_) - 1) /
+        static_cast<std::size_t>(nthreads_);
+    const std::size_t begin =
+        rank_begin + static_cast<std::size_t>(t) * per_thread;
+    const std::size_t end = std::min(rank_end, begin + per_thread);
+
+    std::vector<kmer_t> kmers;
+    for (std::size_t r = begin; r < end; ++r) {
+      kmers.clear();
+      extract_kmers(reads_.read(r), config_.k, kmers);
+      for (const kmer_t kmer : kmers) {
+        const int owner =
+            static_cast<int>(hash_kmer(kmer) % static_cast<uint64_t>(nranks_));
+        auto& buffer = agg[static_cast<std::size_t>(owner)];
+        buffer.push_back(kmer);
+        if (buffer.size() >= capacity) flush(owner);
+      }
+      // All-worker setup: every thread periodically progresses the network.
+      consumed += poll_arrivals(dev, pass);
+    }
+    for (int dest = 0; dest < nranks_; ++dest) flush(dest);
+    sync.senders_done.fetch_add(1, std::memory_order_acq_rel);
+
+    // Keep serving incoming RPCs until every sender finished and this rank
+    // has consumed everything destined to it.
+    const int total_senders = nranks_ * nthreads_;
+    auto& processed = sync.processed[static_cast<std::size_t>(me)];
+    processed.fetch_add(consumed, std::memory_order_relaxed);
+    consumed = 0;
+    while (true) {
+      const long got = poll_arrivals(dev, pass);
+      if (got != 0) {
+        processed.fetch_add(got, std::memory_order_relaxed);
+        continue;
+      }
+      if (sync.senders_done.load(std::memory_order_acquire) ==
+              total_senders &&
+          processed.load(std::memory_order_acquire) ==
+              sync.expected[static_cast<std::size_t>(me)].load(
+                  std::memory_order_acquire)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    shared_->barrier.wait();
+    if (me == 0 && t == 0 && pass == 2) shared_->t_end.store(now_sec());
+  }
+
+  const pipeline_config_t& config_;
+  const int nranks_;
+  const int nthreads_;
+  lcw::context_t* ctx_;
+  const read_source_t& reads_;
+  shared_state_t* shared_;
+  two_layer_bloom_t bloom_;
+  counting_hashmap_t map_;
+};
+
+}  // namespace
+
+namespace {
+// Builds the configured read source: a file when reads_path is set,
+// otherwise the deterministic synthetic generator.
+std::unique_ptr<read_source_t> make_read_source(
+    const pipeline_config_t& config) {
+  if (!config.reads_path.empty()) {
+    const bool fastq = config.reads_path.size() > 3 &&
+                       (config.reads_path.ends_with(".fastq") ||
+                        config.reads_path.ends_with(".fq"));
+    const auto records = fastq ? read_fastq_file(config.reads_path)
+                               : read_fasta_file(config.reads_path);
+    std::vector<std::string> reads;
+    reads.reserve(records.size());
+    for (const auto& record : records) reads.push_back(record.sequence);
+    return std::make_unique<vector_reads_t>(std::move(reads));
+  }
+  return std::make_unique<read_generator_t>(config.genome);
+}
+}  // namespace
+
+pipeline_result_t run_pipeline(const pipeline_config_t& config) {
+  const bool reference = config.mode == pipeline_mode_t::ref_st;
+  const int nranks =
+      reference ? config.nranks * config.nthreads : config.nranks;
+  const int nthreads = reference ? 1 : config.nthreads;
+
+  const std::unique_ptr<read_source_t> reads_owner = make_read_source(config);
+  const read_source_t& reads = *reads_owner;
+  shared_state_t shared(nranks, nranks * nthreads);
+  shared.merged_histogram.assign(257, 0);
+
+  lci::sim::spawn(
+      nranks,
+      [&](int rank) {
+    (void)rank;
+    lcw::config_t lcw_config;
+    lcw_config.ndevices =
+        config.mode == pipeline_mode_t::lci_mt ? nthreads : 1;
+    lcw_config.max_am_size = config.agg_buffer_bytes;
+    const lcw::backend_t backend = config.mode == pipeline_mode_t::lci_mt
+                                       ? lcw::backend_t::lci
+                                       : lcw::backend_t::gex;
+    auto ctx = lcw::alloc_context(backend, lcw_config);
+    rank_worker_t worker(config, nranks, nthreads, ctx.get(), reads, &shared);
+
+    auto binding = lci::sim::current_binding();
+    std::vector<std::thread> threads;
+    for (int t = 1; t < nthreads; ++t) {
+      threads.emplace_back([&, t] {
+        lci::sim::scoped_binding_t bound(binding);
+        worker.run_thread(t);
+      });
+    }
+    worker.run_thread(0);
+    for (auto& th : threads) th.join();
+
+    // Merge this rank's results (harness-side reduction).
+    const auto histogram = worker.map().histogram(256);
+    std::size_t total = 0;
+    for (std::size_t c = 2; c < histogram.size(); ++c)
+      total += histogram[c] * c;
+    {
+      std::lock_guard<std::mutex> guard(shared.merge_lock);
+      for (std::size_t c = 0; c < histogram.size(); ++c)
+        shared.merged_histogram[c] += histogram[c];
+    }
+    shared.merged_distinct.fetch_add(worker.map().size());
+    shared.merged_total.fetch_add(total);
+      },
+      config.fabric);
+
+  pipeline_result_t result;
+  result.seconds = shared.t_end.load() - shared.t_start.load();
+  result.histogram = shared.merged_histogram;
+  result.distinct_counted = shared.merged_distinct.load();
+  result.total_kmers = shared.merged_total.load();
+  return result;
+}
+
+pipeline_result_t run_serial_oracle(const pipeline_config_t& config) {
+  const std::unique_ptr<read_source_t> reads_owner = make_read_source(config);
+  const read_source_t& reads = *reads_owner;
+  std::unordered_map<kmer_t, uint32_t> counts;
+  std::vector<kmer_t> kmers;
+  for (std::size_t r = 0; r < reads.total_reads(); ++r) {
+    kmers.clear();
+    extract_kmers(reads.read(r), config.k, kmers);
+    for (const kmer_t kmer : kmers) ++counts[kmer];
+  }
+  pipeline_result_t result;
+  result.histogram.assign(257, 0);
+  for (const auto& [kmer, count] : counts) {
+    if (count < 2) continue;
+    ++result.distinct_counted;
+    result.total_kmers += count;
+    result.histogram[std::min<uint32_t>(count, 256)]++;
+  }
+  return result;
+}
+
+}  // namespace kmer

@@ -1,0 +1,66 @@
+// Distributed two-pass k-mer counting pipeline (paper Sec. 5.3).
+//
+// The HipMer k-mer counting stage: traverse the read set twice — pass 1
+// inserts every k-mer into a two-layer Bloom filter on its owner rank;
+// pass 2 consults the filter and counts k-mers seen at least twice in a
+// hashmap — with each k-mer statically mapped to an owner rank by hash and
+// shipped there through per-destination aggregation buffers over active
+// messages.
+//
+// Three execution modes reproduce Fig. 6's three lines:
+//   lci_mt — multithreaded, LCW/LCI backend, one device per thread, all
+//            threads run application logic and progress the network
+//            ("all-worker setup");
+//   gex_mt — multithreaded, LCW/GASNet-EX backend (shared endpoint);
+//   ref_st — the single-threaded reference layout (HipMer/UPC++ style): one
+//            process per "core", i.e. nranks*nthreads single-threaded ranks,
+//            over the gex backend (UPC++ rides on GASNet-EX).
+//
+// Control-plane note: data travels exclusively through the communication
+// backend; start/termination synchronization uses in-process atomics (the
+// simulated-world analogue of PMI barriers), documented in DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kmer/read_generator.hpp"
+#include "net/net.hpp"
+
+namespace kmer {
+
+enum class pipeline_mode_t { lci_mt, gex_mt, ref_st };
+
+const char* to_string(pipeline_mode_t mode);
+
+struct pipeline_config_t {
+  genome_params_t genome{};
+  int k = 21;
+  int nranks = 2;                 // "processes" (2 per node in the paper)
+  int nthreads = 2;               // worker threads per rank (mt modes)
+  pipeline_mode_t mode = pipeline_mode_t::lci_mt;
+  std::size_t agg_buffer_bytes = 8192;  // per-destination aggregation buffer
+  lci::net::config_t fabric{};          // simulated-fabric parameters
+  // When set, reads come from this FASTA/FASTQ file (extension .fastq/.fq
+  // selects FASTQ) instead of the synthetic generator.
+  std::string reads_path;
+};
+
+struct pipeline_result_t {
+  double seconds = 0;                // wall time of the two communication passes
+  std::size_t total_kmers = 0;       // k-mer instances processed in pass 2
+  std::size_t distinct_counted = 0;  // hashmap entries (seen >= twice)
+  std::vector<std::size_t> histogram;  // occurrence histogram (index = count)
+};
+
+// Runs the full pipeline on a fresh simulated world; returns the merged
+// result. Deterministic input by config.genome.seed.
+pipeline_result_t run_pipeline(const pipeline_config_t& config);
+
+// Serial oracle for verification: exact occurrence histogram of all k-mers
+// with count >= 2 (what a perfect two-layer Bloom filter would produce).
+pipeline_result_t run_serial_oracle(const pipeline_config_t& config);
+
+}  // namespace kmer

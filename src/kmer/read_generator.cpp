@@ -1,0 +1,39 @@
+#include "kmer/read_generator.hpp"
+
+#include "kmer/kmer.hpp"
+
+#include <cmath>
+
+namespace kmer {
+
+read_generator_t::read_generator_t(const genome_params_t& params)
+    : params_(params) {
+  lci::util::xoshiro256_t rng(params_.seed);
+  genome_.resize(params_.genome_length);
+  for (auto& base : genome_) base = "ACGT"[rng.below(4)];
+  total_reads_ = static_cast<std::size_t>(
+      std::ceil(params_.coverage * static_cast<double>(params_.genome_length) /
+                static_cast<double>(params_.read_length)));
+}
+
+std::string read_generator_t::read(std::size_t index) const {
+  // Derive the read's randomness from (seed, index) so generation is
+  // position-independent and shardable.
+  uint64_t state = params_.seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+  lci::util::xoshiro256_t rng(lci::util::splitmix64(state));
+  const std::size_t max_start = params_.genome_length - params_.read_length;
+  const std::size_t start = rng.below(max_start + 1);
+  std::string read = genome_.substr(start, params_.read_length);
+  for (auto& base : read) {
+    if (rng.uniform() < params_.error_rate) {
+      // Substitution error: replace with one of the three other bases.
+      const int original = encode_base(base);
+      const int replacement =
+          (original + 1 + static_cast<int>(rng.below(3))) & 3;
+      base = decode_base(replacement);
+    }
+  }
+  return read;
+}
+
+}  // namespace kmer

@@ -1,0 +1,80 @@
+// Synthetic error-prone read generator — the stand-in for the paper's human
+// chr14 dataset (7.75 GB, 37M reads; see DESIGN.md substitutions).
+//
+// A random reference genome is generated from a seed; reads are sampled at
+// uniform positions with substitution errors injected at a configurable
+// rate, mimicking the error profile that motivates HipMer's two-layer Bloom
+// filter (erroneous k-mers mostly occur once). Fully deterministic by seed,
+// and shardable: rank r of n generates its slice of the read set without
+// materializing the rest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kmer {
+
+// Abstract read supplier: the pipeline iterates reads by index so any rank
+// can process any slice. Implemented by the synthetic generator below and by
+// in-memory record sets (e.g. loaded from FASTA/FASTQ, fasta.hpp).
+class read_source_t {
+ public:
+  virtual ~read_source_t() = default;
+  virtual std::size_t total_reads() const = 0;
+  virtual std::string read(std::size_t index) const = 0;
+
+  // Shard [begin, end) of the read set for rank r of n (balanced blocks).
+  void shard(int rank, int nranks, std::size_t* begin,
+             std::size_t* end) const {
+    const std::size_t total = total_reads();
+    const std::size_t per_rank = total / static_cast<std::size_t>(nranks);
+    const std::size_t extra = total % static_cast<std::size_t>(nranks);
+    const auto r = static_cast<std::size_t>(rank);
+    *begin = r * per_rank + std::min(r, extra);
+    *end = *begin + per_rank + (r < extra ? 1 : 0);
+  }
+};
+
+// In-memory read set (sequences loaded from a file or built by hand).
+class vector_reads_t final : public read_source_t {
+ public:
+  explicit vector_reads_t(std::vector<std::string> reads)
+      : reads_(std::move(reads)) {}
+  std::size_t total_reads() const override { return reads_.size(); }
+  std::string read(std::size_t index) const override { return reads_[index]; }
+
+ private:
+  std::vector<std::string> reads_;
+};
+
+struct genome_params_t {
+  std::size_t genome_length = 1 << 20;  // reference length in bases
+  std::size_t read_length = 100;
+  double coverage = 10.0;               // total read bases / genome length
+  double error_rate = 0.01;             // per-base substitution probability
+  uint64_t seed = 42;
+};
+
+class read_generator_t final : public read_source_t {
+ public:
+  explicit read_generator_t(const genome_params_t& params);
+
+  const std::string& genome() const noexcept { return genome_; }
+  std::size_t total_reads() const override { return total_reads_; }
+
+  // The i-th read (deterministic: position and errors derive from the seed
+  // and i alone, so any rank can produce any read).
+  std::string read(std::size_t index) const override;
+
+ private:
+  genome_params_t params_;
+  std::string genome_;
+  std::size_t total_reads_ = 0;
+};
+
+}  // namespace kmer

@@ -1,0 +1,15 @@
+// Internal factory hooks for the LCW backends.
+#pragma once
+
+#include <memory>
+
+#include "lcw/lcw.hpp"
+
+namespace lcw::detail {
+
+std::unique_ptr<context_t> make_lci_context(const config_t& config);
+std::unique_ptr<context_t> make_mpi_context(const config_t& config,
+                                            bool vci_extension);
+std::unique_ptr<context_t> make_gex_context(const config_t& config);
+
+}  // namespace lcw::detail

@@ -1,0 +1,46 @@
+#include "lcw/lcw.hpp"
+
+#include <stdexcept>
+
+#include "lcw/backends.hpp"
+
+namespace lcw {
+
+const char* to_string(backend_t backend) {
+  switch (backend) {
+    case backend_t::lci:
+      return "lci";
+    case backend_t::mpi:
+      return "mpi";
+    case backend_t::mpix:
+      return "mpix";
+    case backend_t::gex:
+      return "gex";
+  }
+  return "?";
+}
+
+backend_t backend_from_string(const std::string& name) {
+  if (name == "lci") return backend_t::lci;
+  if (name == "mpi") return backend_t::mpi;
+  if (name == "mpix") return backend_t::mpix;
+  if (name == "gex") return backend_t::gex;
+  throw std::invalid_argument("unknown LCW backend: " + name);
+}
+
+std::unique_ptr<context_t> alloc_context(backend_t backend,
+                                         const config_t& config) {
+  switch (backend) {
+    case backend_t::lci:
+      return detail::make_lci_context(config);
+    case backend_t::mpi:
+      return detail::make_mpi_context(config, /*vci_extension=*/false);
+    case backend_t::mpix:
+      return detail::make_mpi_context(config, /*vci_extension=*/true);
+    case backend_t::gex:
+      return detail::make_gex_context(config);
+  }
+  throw std::invalid_argument("unknown LCW backend");
+}
+
+}  // namespace lcw

@@ -1,0 +1,96 @@
+// LCW — the Lightweight Communication Wrapper (paper Sec. 5.2).
+//
+// "To ensure uniformity across different communication libraries, we build a
+// simple layer (LCW) on top of LCI, MPI, and GASNet-EX and use it to write
+// the microbenchmarks." This is that layer: non-blocking active messages and
+// send-receive over four backends:
+//
+//   lci   — this repository's LCI (device per LCW device),
+//   mpi   — simmpi with one VCI (standard MPI: one big lock),
+//   mpix  — simmpi with one VCI per LCW device (MPICH VCI extension),
+//   gex   — simgex (GASNet-EX: shared endpoint, AM only, no send-receive).
+//
+// Conventions (matching the paper's microbenchmarks):
+//  * LCW devices are numbered 0..ndevices-1; callers direct an operation at a
+//    device and use `tag == device index` so the mpix backend's tag→VCI
+//    mapping is the identity (the paper sets mpi_assert_no_any_tag etc. for
+//    the same reason).
+//  * AM payloads delivered by poll_recv are malloc'd; the caller frees them
+//    with std::free. Completed tagged receives report the caller's buffer.
+//  * Dedicated-resource mode: each thread allocates (uses) its own device.
+//    Shared-resource mode: every thread uses device 0 with ndevices == 1.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace lcw {
+
+enum class backend_t { lci, mpi, mpix, gex };
+
+const char* to_string(backend_t backend);
+backend_t backend_from_string(const std::string& name);
+
+// Completion record returned by the polling calls.
+struct request_t {
+  int rank = -1;
+  int tag = 0;
+  void* buffer = nullptr;
+  std::size_t size = 0;
+};
+
+// Posting result: retry = resubmit later; done = completed immediately (the
+// buffer is reusable, no completion will be reported); posted = a completion
+// will appear on the send queue.
+enum class post_t { retry, done, posted };
+
+class device_t {
+ public:
+  virtual ~device_t() = default;
+
+  virtual post_t post_am(int dst, void* buffer, std::size_t size, int tag) = 0;
+  virtual post_t post_send(int dst, void* buffer, std::size_t size,
+                           int tag) = 0;
+  virtual post_t post_recv(int src, void* buffer, std::size_t size,
+                           int tag) = 0;
+
+  // Local completions of `posted` operations.
+  virtual bool poll_send(request_t* out) = 0;
+  // Delivered active messages (malloc'd payload) and completed receives.
+  virtual bool poll_recv(request_t* out) = 0;
+
+  virtual bool do_progress() = 0;
+};
+
+class context_t {
+ public:
+  virtual ~context_t() = default;
+  virtual backend_t backend() const = 0;
+  virtual int rank() const = 0;
+  virtual int nranks() const = 0;
+  virtual int ndevices() const = 0;
+  virtual device_t* device(int index) = 0;
+  virtual bool supports_send_recv() const = 0;
+};
+
+struct config_t {
+  int ndevices = 1;                 // forced to 1 by the mpi and gex backends
+  std::size_t max_am_size = 8192;   // largest AM payload
+  std::size_t npackets = 0;         // lci backend: 0 = runtime default
+  // Eager/rendezvous switch-over. Applied to both the lci backend (packet
+  // size) and the mpi backend (eager threshold) so protocol crossovers line
+  // up in comparisons. 0 = backend defaults.
+  std::size_t eager_size = 0;
+  // mpi/mpix: pre-post AM receive buffers at context creation. Turn off for
+  // pure send-receive workloads — a wildcard AM pre-post would otherwise
+  // steal tagged messages (MPI's ordered wildcard matching).
+  bool enable_am = true;
+};
+
+// Collective call: every rank must allocate its context before any traffic
+// flows (resource registrations must line up across ranks).
+std::unique_ptr<context_t> alloc_context(backend_t backend,
+                                         const config_t& config = {});
+
+}  // namespace lcw

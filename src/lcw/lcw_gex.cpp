@@ -1,0 +1,89 @@
+// LCW backend over simgex: gex_AM_RequestMedium-style active messages on a
+// shared endpoint. No send-receive (the paper's LCW omits it for GASNet-EX
+// due to implementation complexity) and no resource replication.
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "baseline/simgex.hpp"
+#include "lcw/backends.hpp"
+#include "util/lcrq.hpp"
+
+namespace lcw::detail {
+
+namespace {
+
+class gex_device_t final : public device_t {
+ public:
+  explicit gex_device_t(simgex::endpoint_t* endpoint) : endpoint_(endpoint) {
+    handler_ = endpoint_->register_handler(
+        [this](int src, const void* data, std::size_t size, uint32_t arg0) {
+          // AM handlers must be short: copy out and enqueue.
+          void* copy = std::malloc(size ? size : 1);
+          std::memcpy(copy, data, size);
+          recv_results_.push(
+              request_t{src, static_cast<int>(arg0), copy, size});
+        });
+  }
+
+  post_t post_am(int dst, void* buffer, std::size_t size, int tag) override {
+    // gex_AM_RequestMedium blocks until injected; the source buffer is
+    // reusable on return.
+    endpoint_->am_request_medium(dst, handler_, buffer, size,
+                                 static_cast<uint32_t>(tag));
+    return post_t::done;
+  }
+
+  post_t post_send(int, void*, std::size_t, int) override {
+    throw std::logic_error("lcw/gex: send-receive is not supported");
+  }
+  post_t post_recv(int, void*, std::size_t, int) override {
+    throw std::logic_error("lcw/gex: send-receive is not supported");
+  }
+
+  bool poll_send(request_t*) override { return false; }
+
+  bool poll_recv(request_t* out) override {
+    if (auto r = recv_results_.try_pop()) {
+      *out = *r;
+      return true;
+    }
+    return false;
+  }
+
+  bool do_progress() override { return endpoint_->poll(); }
+
+ private:
+  simgex::endpoint_t* endpoint_;
+  int handler_ = -1;
+  lci::util::lcrq_t<request_t> recv_results_{256};
+};
+
+class gex_context_t final : public context_t {
+ public:
+  explicit gex_context_t(const config_t& config) {
+    simgex::config_t gex_config;
+    gex_config.max_medium = config.max_am_size;
+    endpoint_ = std::make_unique<simgex::endpoint_t>(gex_config);
+    device_ = std::make_unique<gex_device_t>(endpoint_.get());
+  }
+
+  backend_t backend() const override { return backend_t::gex; }
+  int rank() const override { return endpoint_->rank(); }
+  int nranks() const override { return endpoint_->size(); }
+  int ndevices() const override { return 1; }  // no resource replication
+  device_t* device(int) override { return device_.get(); }
+  bool supports_send_recv() const override { return false; }
+
+ private:
+  std::unique_ptr<simgex::endpoint_t> endpoint_;
+  std::unique_ptr<gex_device_t> device_;
+};
+
+}  // namespace
+
+std::unique_ptr<context_t> make_gex_context(const config_t& config) {
+  return std::make_unique<gex_context_t>(config);
+}
+
+}  // namespace lcw::detail

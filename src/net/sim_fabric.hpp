@@ -1,0 +1,201 @@
+// Internal definitions of the simulated fabric (not part of the public
+// backend interface in net.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/net.hpp"
+#include "util/lcrq.hpp"
+#include "util/mpmc_array.hpp"
+#include "util/spinlock.hpp"
+
+namespace lci::net::detail {
+
+// One message "on the wire". Small payloads are stored inline; larger ones on
+// the heap. Eager traffic in LCI is bounded by the packet size, but the wire
+// itself accepts anything that fits a pre-posted buffer at the target.
+struct wire_msg_t {
+  static constexpr std::size_t inline_capacity = 128;
+
+  op_t kind = op_t::send;  // send | remote_write | remote_read
+  int src_rank = -1;
+  uint32_t imm = 0;
+  uint32_t size = 0;
+  uint64_t ready_ns = 0;  // timing model: deliverable once now >= ready_ns
+  std::unique_ptr<char[]> heap;
+  char inline_data[inline_capacity] = {};
+
+  wire_msg_t() = default;
+  wire_msg_t(wire_msg_t&&) = default;
+  wire_msg_t& operator=(wire_msg_t&&) = default;
+
+  void set_payload(const void* src, std::size_t n) {
+    size = static_cast<uint32_t>(n);
+    if (n == 0) return;
+    if (n <= inline_capacity) {
+      std::memcpy(inline_data, src, n);
+    } else {
+      heap.reset(new char[n]);
+      std::memcpy(heap.get(), src, n);
+    }
+  }
+
+  const char* data() const noexcept {
+    return heap ? heap.get() : inline_data;
+  }
+};
+
+struct prepost_t {
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  void* user_context = nullptr;
+};
+
+struct mr_record_t {
+  void* base = nullptr;
+  std::size_t size = 0;
+  std::atomic<bool> valid{false};
+};
+
+class sim_fabric_t;
+
+class sim_device_t final : public device_t {
+ public:
+  sim_device_t(sim_fabric_t* fabric, int rank, int context);
+  ~sim_device_t() override;
+
+  int index() const override { return index_; }
+  post_result_t post_recv(void* buffer, std::size_t size,
+                          void* user_context) override;
+  post_result_t post_send(int peer_rank, const void* buffer, std::size_t size,
+                          uint32_t imm, void* user_context) override;
+  post_result_t post_write(int peer_rank, const void* local, std::size_t size,
+                           mr_id_t remote_mr, std::size_t remote_offset,
+                           bool notify, uint32_t imm,
+                           void* user_context) override;
+  post_result_t post_read(int peer_rank, void* local, std::size_t size,
+                          mr_id_t remote_mr, std::size_t remote_offset,
+                          bool notify, uint32_t imm,
+                          void* user_context) override;
+  poll_result_t poll_cq(cqe_t* out, std::size_t max) override;
+  std::size_t preposted_recvs() const override {
+    return srq_count_.load(std::memory_order_relaxed);
+  }
+
+  // Wire-side entry point used by peer devices ("the NIC DMA engine").
+  bool wire_push(wire_msg_t msg);
+
+ private:
+  friend class sim_fabric_t;
+
+  // Acquires the send-path lock per the configured model/strategy. Returns a
+  // disengaged guard on try-lock miss.
+  util::try_lock_wrapper_t::guard_t acquire_send_lock(int peer_rank);
+
+  // Under the polling lock: move deliverable wire messages into the CQ.
+  void deliver_from_wire();
+  bool deliver_one(wire_msg_t& msg);  // false: RNR (no pre-posted recv)
+
+  sim_fabric_t* const fabric_;
+  const int rank_;
+  const int context_;
+  int index_ = -1;
+
+  util::lcrq_t<wire_msg_t> wire_{1024};
+  util::lcrq_t<cqe_t> cq_{1024};
+  std::deque<wire_msg_t> rnr_stash_;  // guarded by the polling lock
+
+  util::spinlock_t srq_inner_lock_;
+  std::deque<prepost_t> srq_;
+  std::atomic<std::size_t> srq_count_{0};
+
+  // Lock layout (paper Sec. 4.2.3/4.2.4). ibv: per-object locks; ofi: one
+  // endpoint lock used for every operation.
+  util::try_lock_wrapper_t cq_lock_;
+  util::try_lock_wrapper_t srq_lock_;
+  util::try_lock_wrapper_t ep_lock_;
+  util::try_lock_wrapper_t qp_shared_lock_;           // all_qp / none
+  std::unique_ptr<util::try_lock_wrapper_t[]> qp_locks_;  // per_qp
+};
+
+class sim_context_t final : public context_t {
+ public:
+  sim_context_t(std::shared_ptr<sim_fabric_t> fabric, int rank, int index)
+      : fabric_(std::move(fabric)), rank_(rank), index_(index) {}
+
+  int rank() const override { return rank_; }
+  int nranks() const override;
+  std::unique_ptr<device_t> create_device() override;
+  mr_id_t register_memory(void* base, std::size_t size) override;
+  void deregister_memory(mr_id_t id) override;
+  int index() const noexcept { return index_; }
+
+ private:
+  std::shared_ptr<sim_fabric_t> fabric_;
+  const int rank_;
+  // Connection namespace: devices of context k only exchange messages with
+  // devices of the peer ranks' context k (contexts must be created in the
+  // same order on every rank, like every other replicated resource).
+  const int index_;
+};
+
+class sim_fabric_t final : public fabric_t,
+                           public std::enable_shared_from_this<sim_fabric_t> {
+ public:
+  sim_fabric_t(int nranks, const config_t& config);
+  ~sim_fabric_t() override;
+
+  int nranks() const override { return nranks_; }
+  const config_t& config() const override { return config_; }
+  std::unique_ptr<context_t> create_context(int rank) override;
+
+  // Device registry, scoped by context index (connection namespace).
+  int register_device(int rank, int context, sim_device_t* device);
+  void unregister_device(int rank, int context, int index);
+  // Routing: messages from device `src_index` of context `context` arrive at
+  // the target rank's same-context device src_index mod device-count
+  // (skipping freed slots).
+  sim_device_t* route(int rank, int context, int src_index) const;
+  // Context index allocation (monotonic per rank).
+  int next_context_index(int rank);
+
+  // Memory registration (per-rank tables, readable by any rank).
+  mr_id_t register_memory(int rank, void* base, std::size_t size);
+  void deregister_memory(int rank, mr_id_t id);
+  // Resolves a remote address or throws (invalid MR / bounds violation).
+  char* resolve_remote(int rank, mr_id_t id, std::size_t offset,
+                       std::size_t size) const;
+
+  // Shared "uUAR" hardware lock used by the td_strategy_t::none model.
+  util::spinlock_t& uuar_lock() { return uuar_lock_; }
+
+  // Timing model: earliest delivery time for a message of `size` bytes sent
+  // now (0 when the model is off).
+  uint64_t ready_time_ns(std::size_t size) const;
+
+ private:
+  struct context_devices_t {
+    util::mpmc_array_t<sim_device_t*> devices{8};
+  };
+  struct rank_state_t {
+    util::mpmc_array_t<context_devices_t*> contexts{8};
+    util::spinlock_t context_lock;
+    std::vector<std::unique_ptr<context_devices_t>> context_storage;
+    int next_context = 0;  // guarded by context_lock
+    util::mpmc_array_t<mr_record_t*> mrs{8};
+    util::spinlock_t mr_lock;
+    std::vector<mr_id_t> mr_freelist;                  // guarded by mr_lock
+    std::vector<std::unique_ptr<mr_record_t>> mr_storage;  // guarded by mr_lock
+  };
+
+  const int nranks_;
+  const config_t config_;
+  std::vector<std::unique_ptr<rank_state_t>> ranks_;
+  util::spinlock_t uuar_lock_;
+};
+
+}  // namespace lci::net::detail

@@ -1,0 +1,50 @@
+// Exponential backoff helper for spin loops.
+//
+// All spin loops in this codebase must eventually yield to the OS scheduler:
+// the evaluation may oversubscribe cores (the paper runs up to 128 threads per
+// node; this reproduction may run on far fewer cores), and a pure busy-wait
+// would livelock when the lock holder is descheduled.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lci::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: nothing cheaper than a compiler barrier.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spins with increasing numbers of pause instructions, then falls back to
+// std::this_thread::yield so progress is possible under oversubscription.
+class backoff_t {
+ public:
+  void spin() noexcept {
+    if (round_ < yield_threshold) {
+      const uint32_t spins = 1u << round_;
+      for (uint32_t i = 0; i < spins; ++i) cpu_relax();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr uint32_t yield_threshold = 6;  // up to 32 pauses, then yield
+  uint32_t round_ = 0;
+};
+
+}  // namespace lci::util

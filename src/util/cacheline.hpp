@@ -1,0 +1,30 @@
+// Cache-line utilities shared by all concurrent data structures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lci::util {
+
+// Hardware destructive interference size. We hard-code 64 bytes: the value of
+// std::hardware_destructive_interference_size is an ABI hazard on GCC and both
+// evaluation platforms in the paper (EPYC 7742/7763) use 64-byte lines.
+inline constexpr std::size_t cache_line_size = 64;
+
+// Wraps a value so that it occupies (at least) one full cache line, preventing
+// false sharing between adjacent elements of an array.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(const T& v) : value(v) {}
+  explicit padded(T&& v) : value(static_cast<T&&>(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace lci::util

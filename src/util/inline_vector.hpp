@@ -1,0 +1,92 @@
+// Fixed-capacity inline vector.
+//
+// The matching engine's fast path (paper Sec. 4.1.3) replaces linked lists
+// with fixed-size arrays when buckets hold <= 3 queues and queues hold <= 2
+// entries, so that a low-load-factor insertion costs a single cache miss.
+// This container is that fixed-size array: no heap allocation, no iterator
+// invalidation games, O(capacity) erase by swap-with-last.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace lci::util {
+
+template <typename T, std::size_t Capacity>
+class inline_vector_t {
+ public:
+  inline_vector_t() = default;
+  inline_vector_t(const inline_vector_t&) = delete;
+  inline_vector_t& operator=(const inline_vector_t&) = delete;
+  ~inline_vector_t() { clear(); }
+
+  bool try_push_back(T value) {
+    if (size_ == Capacity) return false;
+    new (slot(size_)) T(std::move(value));
+    ++size_;
+    return true;
+  }
+
+  void push_back(T value) {
+    const bool ok = try_push_back(std::move(value));
+    assert(ok);
+    (void)ok;
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return *slot(i);
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return *slot(i);
+  }
+
+  // Removes element i by moving the last element into its place (order is
+  // not preserved — callers that need order must not use this).
+  void erase_unordered(std::size_t i) noexcept {
+    assert(i < size_);
+    --size_;
+    if (i != size_) (*slot(i)) = std::move(*slot(size_));
+    slot(size_)->~T();
+  }
+
+  // Removes element i preserving order of the remaining elements.
+  void erase_ordered(std::size_t i) noexcept {
+    assert(i < size_);
+    for (std::size_t j = i + 1; j < size_; ++j)
+      (*slot(j - 1)) = std::move(*slot(j));
+    --size_;
+    slot(size_)->~T();
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) slot(i)->~T();
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == Capacity; }
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+  T* begin() noexcept { return slot(0); }
+  T* end() noexcept { return slot(size_); }
+  const T* begin() const noexcept { return slot(0); }
+  const T* end() const noexcept { return slot(size_); }
+
+ private:
+  T* slot(std::size_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(&storage_[i]));
+  }
+  const T* slot(std::size_t i) const noexcept {
+    return std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  alignas(T) unsigned char storage_[Capacity][sizeof(T)];
+  std::size_t size_ = 0;
+};
+
+}  // namespace lci::util

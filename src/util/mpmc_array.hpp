@@ -1,0 +1,124 @@
+// Multi-Producer-Multi-Consumer array (paper Sec. 4.1.1).
+//
+// A dynamically-resizable array for resource registries: written rarely
+// (resource registration, off the critical path), read constantly (every
+// incoming active message looks up its remote completion handle). Writes and
+// appends take a lock; reads are lock-free. Every resize swaps in an array of
+// double the capacity; old arrays are retired, not freed, until destruction,
+// so a concurrent lock-free reader can never touch reclaimed memory (the
+// deferred-reclamation idea borrowed from hazard-pointer literature [2]).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace lci::util {
+
+// T must be trivially copyable and lock-free as std::atomic<T> for reads to
+// be genuinely lock-free (pointers and small handles in practice).
+template <typename T>
+class mpmc_array_t {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit mpmc_array_t(std::size_t initial_capacity = 8)
+      : current_(new slab_t(initial_capacity ? initial_capacity : 1)) {}
+
+  mpmc_array_t(const mpmc_array_t&) = delete;
+  mpmc_array_t& operator=(const mpmc_array_t&) = delete;
+
+  ~mpmc_array_t() {
+    delete current_.load(std::memory_order_relaxed);
+    for (slab_t* retired : retired_) delete retired;
+  }
+
+  // Lock-free read. Returns a default-constructed T for never-written slots;
+  // out-of-range reads (index >= size()) are the caller's bug.
+  T get(std::size_t index) const noexcept {
+    const slab_t* slab = current_.load(std::memory_order_acquire);
+    assert(index < slab->capacity);
+    return slab->slots[index].load(std::memory_order_acquire);
+  }
+
+  // Locked write to an existing slot.
+  void put(std::size_t index, T value) {
+    std::lock_guard<spinlock_t> guard(write_lock_);
+    slab_t* slab = current_.load(std::memory_order_relaxed);
+    assert(index < size_);
+    slab->slots[index].store(value, std::memory_order_release);
+  }
+
+  // Locked append; returns the index of the new element. Doubles capacity
+  // when full.
+  std::size_t push_back(T value) {
+    std::lock_guard<spinlock_t> guard(write_lock_);
+    slab_t* slab = current_.load(std::memory_order_relaxed);
+    if (size_ == slab->capacity) {
+      slab = resize_locked(slab->capacity * 2);
+    }
+    slab->slots[size_].store(value, std::memory_order_release);
+    // Publish the new size only after the slot holds the value so a reader
+    // that observes index < size() always reads the element.
+    return size_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Locked write that grows the array so that `index` is valid (slots below
+  // it default-initialize to T{}). Used for registries indexed by an
+  // externally assigned dense id (e.g. thread ids).
+  void put_extend(std::size_t index, T value) {
+    std::lock_guard<spinlock_t> guard(write_lock_);
+    slab_t* slab = current_.load(std::memory_order_relaxed);
+    std::size_t capacity = slab->capacity;
+    while (capacity <= index) capacity *= 2;
+    if (capacity != slab->capacity) slab = resize_locked(capacity);
+    slab->slots[index].store(value, std::memory_order_release);
+    if (size_.load(std::memory_order_relaxed) <= index)
+      size_.store(index + 1, std::memory_order_release);
+  }
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept {
+    return current_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct slab_t {
+    explicit slab_t(std::size_t cap)
+        : capacity(cap), slots(new std::atomic<T>[cap]) {
+      for (std::size_t i = 0; i < cap; ++i)
+        slots[i].store(T{}, std::memory_order_relaxed);
+    }
+    ~slab_t() { delete[] slots; }
+    const std::size_t capacity;
+    std::atomic<T>* const slots;
+  };
+
+  // Caller holds write_lock_.
+  slab_t* resize_locked(std::size_t new_capacity) {
+    slab_t* old_slab = current_.load(std::memory_order_relaxed);
+    auto* new_slab = new slab_t(new_capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      new_slab->slots[i].store(old_slab->slots[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    }
+    current_.store(new_slab, std::memory_order_release);
+    // Readers may still hold a pointer to old_slab: defer its deallocation.
+    retired_.push_back(old_slab);
+    return new_slab;
+  }
+
+  std::atomic<slab_t*> current_;
+  std::atomic<std::size_t> size_{0};
+  spinlock_t write_lock_;
+  std::vector<slab_t*> retired_;  // guarded by write_lock_
+};
+
+}  // namespace lci::util

@@ -1,0 +1,120 @@
+// Bounded MPMC ring with per-cell sequence numbers (Vyukov-style).
+//
+// This is the "hand-written Fetch-And-Add-based fixed-size array" completion
+// queue implementation of paper Sec. 4.1.4, and also the segment type of the
+// LCRQ-style unbounded queue. Each cell carries a sequence counter; producers
+// and consumers claim slots with fetch-add on shared head/tail counters and
+// then synchronize on the cell sequence, so the fast path is one FAA plus one
+// cell handoff and threads contending on *different* cells never interfere.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+
+namespace lci::util {
+
+template <typename T>
+class mpmc_ring_t {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit mpmc_ring_t(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = new cell_t[cap];
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  mpmc_ring_t(const mpmc_ring_t&) = delete;
+  mpmc_ring_t& operator=(const mpmc_ring_t&) = delete;
+
+  ~mpmc_ring_t() {
+    // Destroy any elements still enqueued.
+    while (try_pop().has_value()) {
+    }
+    delete[] cells_;
+  }
+
+  // Non-blocking push. Returns false when the ring is full.
+  bool try_push(T value) {
+    cell_t* cell;
+    std::size_t pos = tail_.value.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.value.load(std::memory_order_relaxed);
+      }
+    }
+    new (&cell->storage) T(std::move(value));
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Non-blocking pop. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    cell_t* cell;
+    std::size_t pos = head_.value.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.value.load(std::memory_order_relaxed);
+      }
+    }
+    T* slot = reinterpret_cast<T*>(&cell->storage);
+    std::optional<T> result(std::move(*slot));
+    slot->~T();
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return result;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Approximate size; exact only in quiescence.
+  std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  struct cell_t {
+    std::atomic<std::size_t> sequence;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  cell_t* cells_ = nullptr;
+  padded<std::atomic<std::size_t>> head_{};
+  padded<std::atomic<std::size_t>> tail_{};
+};
+
+}  // namespace lci::util

@@ -1,0 +1,61 @@
+// Small fast RNG (xoshiro256**), used for packet-steal victim selection,
+// synthetic workload generation, and property-test sweeps. Deterministic by
+// seed so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace lci::util {
+
+// SplitMix64: seeds the main generator; also a fine standalone mixer.
+inline uint64_t splitmix64(uint64_t& state) noexcept {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class xoshiro256_t {
+ public:
+  using result_type = uint64_t;
+
+  explicit xoshiro256_t(uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  result_type operator()() noexcept {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift; slight modulo
+  // bias is irrelevant for victim selection and workload generation.
+  uint64_t below(uint64_t bound) noexcept {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(operator()()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace lci::util

@@ -1,0 +1,104 @@
+// Fine-grained spinlocks and the try-lock wrapper idiom (paper Sec. 4.2.2).
+#pragma once
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+
+namespace lci::util {
+
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// This is the lock used for every fine-grained critical section in the LCI
+// runtime: per-deque packet-pool locks, per-bucket matching-engine locks, the
+// backlog queue, and the simulated network data structures. Critical sections
+// are expected to be a handful of instructions, so a spinlock beats a mutex;
+// the backoff yields under oversubscription so the lock is safe on any core
+// count. Satisfies Lockable and so works with std::lock_guard.
+class spinlock_t {
+ public:
+  spinlock_t() = default;
+  spinlock_t(const spinlock_t&) = delete;
+  spinlock_t& operator=(const spinlock_t&) = delete;
+
+  void lock() noexcept {
+    backoff_t backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Test loop: spin on a plain load to avoid cache-line ping-pong.
+      while (locked_.load(std::memory_order_relaxed)) backoff.spin();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// The "try-lock wrapper" of paper Sec. 4.2.2: low-level network stacks protect
+// their objects with *blocking* spinlocks, so LCI shadows each such object
+// with its own lock and only ever try-locks it. On failure the operation
+// returns the `retry` error code instead of blocking, giving the client the
+// chance to do useful work during contention.
+//
+// `guard()` returns an RAII guard whose boolean value says whether the lock
+// was obtained.
+class try_lock_wrapper_t {
+ public:
+  class guard_t {
+   public:
+    guard_t() = default;
+    explicit guard_t(spinlock_t* lock) : lock_(lock) {}
+    guard_t(const guard_t&) = delete;
+    guard_t& operator=(const guard_t&) = delete;
+    guard_t(guard_t&& other) noexcept : lock_(other.lock_) {
+      other.lock_ = nullptr;
+    }
+    guard_t& operator=(guard_t&& other) noexcept {
+      if (this != &other) {
+        release();
+        lock_ = other.lock_;
+        other.lock_ = nullptr;
+      }
+      return *this;
+    }
+    ~guard_t() { release(); }
+
+    explicit operator bool() const noexcept { return lock_ != nullptr; }
+
+   private:
+    void release() noexcept {
+      if (lock_ != nullptr) lock_->unlock();
+      lock_ = nullptr;
+    }
+    spinlock_t* lock_ = nullptr;
+  };
+
+  // Returns an engaged guard iff the lock was acquired without blocking.
+  guard_t guard() noexcept {
+    return lock_.try_lock() ? guard_t{&lock_} : guard_t{};
+  }
+
+  // Blocking acquisition, for the rare paths (e.g. finalization) that must
+  // not fail.
+  guard_t blocking_guard() noexcept {
+    lock_.lock();
+    return guard_t{&lock_};
+  }
+
+ private:
+  spinlock_t lock_;
+};
+
+}  // namespace lci::util

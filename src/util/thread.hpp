@@ -1,0 +1,32 @@
+// Dense thread identifiers.
+//
+// The packet pool (paper Sec. 4.1.2) keeps one deque per thread, indexed by a
+// small dense thread id rather than std::thread::id. Ids are assigned lazily
+// on first use and are never reused; long-lived resources sized by thread id
+// (packet-pool deque registries) grow monotonically with the number of
+// distinct threads that ever touched them, which matches LCI's thread-local
+// storage strategy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace lci::util {
+
+namespace detail {
+inline std::atomic<std::size_t> next_thread_id{0};
+}  // namespace detail
+
+// Dense id of the calling thread, assigned on first call.
+inline std::size_t thread_id() noexcept {
+  thread_local const std::size_t id =
+      detail::next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Upper bound (exclusive) on all ids handed out so far.
+inline std::size_t thread_id_bound() noexcept {
+  return detail::next_thread_id.load(std::memory_order_relaxed);
+}
+
+}  // namespace lci::util

@@ -1,0 +1,117 @@
+// Backlog queue unit tests (paper Sec. 4.1.5): ordering, retry-stops-drain,
+// the atomic empty-flag fast path, and concurrent pushers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/runtime_impl.hpp"
+
+namespace {
+
+using lci::detail::backlog_queue_t;
+
+lci::status_t make(lci::errorcode_t code) {
+  lci::status_t s;
+  s.error.code = code;
+  return s;
+}
+
+TEST(Backlog, EmptyProgressIsCheap) {
+  backlog_queue_t backlog;
+  EXPECT_EQ(backlog.size_approx(), 0u);
+  EXPECT_FALSE(backlog.progress());  // the atomic flag short-circuits
+}
+
+TEST(Backlog, RetiresInOrder) {
+  backlog_queue_t backlog;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    backlog.push([&order, i] {
+      order.push_back(i);
+      return make(lci::errorcode_t::done);
+    });
+  }
+  EXPECT_EQ(backlog.size_approx(), 5u);
+  EXPECT_TRUE(backlog.progress());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(backlog.size_approx(), 0u);
+  EXPECT_FALSE(backlog.progress());
+}
+
+TEST(Backlog, RetryStopsTheDrainAndStaysAtTheFront) {
+  backlog_queue_t backlog;
+  int first_attempts = 0;
+  bool second_ran = false;
+  backlog.push([&] {
+    ++first_attempts;
+    return make(first_attempts < 3 ? lci::errorcode_t::retry_nomem
+                                   : lci::errorcode_t::done);
+  });
+  backlog.push([&] {
+    second_ran = true;
+    return make(lci::errorcode_t::done);
+  });
+  // First two progress calls hit the retrying op and stop; the second op
+  // must not run out of order.
+  EXPECT_FALSE(backlog.progress());
+  EXPECT_FALSE(second_ran);
+  EXPECT_FALSE(backlog.progress());
+  EXPECT_FALSE(second_ran);
+  EXPECT_TRUE(backlog.progress());  // third attempt succeeds, drain continues
+  EXPECT_TRUE(second_ran);
+  EXPECT_EQ(first_attempts, 3);
+}
+
+TEST(Backlog, PostedCountsAsRetired) {
+  backlog_queue_t backlog;
+  backlog.push([] { return make(lci::errorcode_t::posted); });
+  EXPECT_TRUE(backlog.progress());
+  EXPECT_EQ(backlog.size_approx(), 0u);
+}
+
+TEST(Backlog, ConcurrentPushersAllRetire) {
+  backlog_queue_t backlog;
+  std::atomic<int> retired{0};
+  constexpr int pushers = 4, per = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < pushers; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < per; ++i) {
+        backlog.push([&retired] {
+          retired.fetch_add(1);
+          return make(lci::errorcode_t::done);
+        });
+      }
+    });
+  }
+  std::thread drainer([&] {
+    while (retired.load() < pushers * per) {
+      if (!backlog.progress()) std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  drainer.join();
+  EXPECT_EQ(retired.load(), pushers * per);
+  EXPECT_EQ(backlog.size_approx(), 0u);
+}
+
+// Pending-table unit behaviour (rendezvous bookkeeping shares this header).
+TEST(PendingTable, AddTakeSemantics) {
+  lci::detail::pending_table_t<int> table;
+  const uint32_t a = table.add(10);
+  const uint32_t b = table.add(20);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(table.take(b, &out));
+  EXPECT_EQ(out, 20);
+  EXPECT_FALSE(table.take(b, &out));  // consumed
+  EXPECT_TRUE(table.take(a, &out));
+  EXPECT_EQ(out, 10);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.take(12345, &out));  // never existed
+}
+
+}  // namespace

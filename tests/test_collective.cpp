@@ -1,0 +1,147 @@
+// Collective tests: barrier/broadcast/reduce and the composed collectives,
+// swept over rank counts (TEST_P), plus the graph-based nonblocking barrier.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/lci.hpp"
+
+namespace {
+
+lci::runtime_attr_t small_attr() {
+  lci::runtime_attr_t attr;
+  attr.matching_engine_buckets = 512;
+  return attr;
+}
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BroadcastEveryRoot) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    for (int root = 0; root < n; ++root) {
+      std::vector<int> data(17, rank == root ? root + 1000 : -1);
+      lci::broadcast(data.data(), data.size() * sizeof(int), root);
+      for (const int v : data) ASSERT_EQ(v, root + 1000);
+    }
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+TEST_P(Collectives, ReduceSum) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    // Vector reduce: element i contributed as rank*i.
+    std::vector<long> mine(8), total(8, -1);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = static_cast<long>(rank) * static_cast<long>(i);
+    lci::reduce(
+        mine.data(), total.data(), mine.size() * sizeof(long),
+        [](void* acc, const void* in, std::size_t bytes) {
+          auto* a = static_cast<long*>(acc);
+          const auto* b = static_cast<const long*>(in);
+          for (std::size_t i = 0; i < bytes / sizeof(long); ++i) a[i] += b[i];
+        },
+        /*root=*/n - 1);
+    if (rank == n - 1) {
+      const long rank_sum = static_cast<long>(n) * (n - 1) / 2;
+      for (std::size_t i = 0; i < total.size(); ++i)
+        EXPECT_EQ(total[i], rank_sum * static_cast<long>(i));
+    }
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+TEST_P(Collectives, Allreduce) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    long mine = 1L << rank;
+    long total = 0;
+    lci::allreduce(&mine, &total, sizeof(long),
+                   [](void* acc, const void* in, std::size_t) {
+                     *static_cast<long*>(acc) +=
+                         *static_cast<const long*>(in);
+                   });
+    EXPECT_EQ(total, (1L << n) - 1);  // every rank holds the full sum
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+TEST_P(Collectives, Allgather) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    struct block_t {
+      int rank;
+      int payload[3];
+    };
+    block_t mine{rank, {rank * 10, rank * 20, rank * 30}};
+    std::vector<block_t> all(static_cast<std::size_t>(n));
+    lci::allgather(&mine, all.data(), sizeof(block_t));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].rank, r);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].payload[2], r * 30);
+    }
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+TEST_P(Collectives, GraphBarrierCompletes) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    (void)rank;
+    lci::g_runtime_init(small_attr());
+    lci::graph_t ib = lci::alloc_barrier_graph();
+    lci::graph_start(ib);
+    while (!lci::graph_test(ib)) lci::progress();
+    lci::free_graph(&ib);
+    // The nonblocking barrier composes with the blocking one.
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+// Overlap: work happens between starting and completing the graph barrier.
+TEST_P(Collectives, GraphBarrierOverlapsWork) {
+  const int n = GetParam();
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    lci::graph_t ib = lci::alloc_barrier_graph();
+    lci::graph_start(ib);
+    // Point-to-point traffic while the barrier is in flight.
+    const int peer = (rank + 1) % n;
+    const int from = (rank - 1 + n) % n;
+    int out = rank, in = -1;
+    lci::comp_t sync = lci::alloc_sync(1);
+    lci::status_t rs = lci::post_recv(from, &in, sizeof(in), 500, sync);
+    lci::status_t ss;
+    do {
+      ss = lci::post_send(peer, &out, sizeof(out), 500, {});
+      lci::progress();
+    } while (ss.error.is_retry());
+    if (rs.error.is_posted()) lci::sync_wait(sync, nullptr);
+    EXPECT_EQ(in, from);
+    while (!lci::graph_test(ib)) lci::progress();
+    lci::free_graph(&ib);
+    lci::barrier();
+    lci::free_comp(&sync);
+    lci::g_runtime_fina();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 7, 8),
+                         [](const auto& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });
+
+}  // namespace

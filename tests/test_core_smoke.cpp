@@ -1,0 +1,200 @@
+// End-to-end smoke tests of the LCI core: every communication paradigm of
+// paper Table 1 exercised across simulated ranks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/lci.hpp"
+
+namespace {
+
+// Runs fn on `n` simulated ranks with an initialized g_runtime.
+void run_ranks(int n, const std::function<void(int)>& fn,
+               lci::runtime_attr_t attr = {}) {
+  // Small matching engine: smoke tests do not need the paper's 64Ki buckets.
+  attr.matching_engine_buckets = 1024;
+  lci::sim::spawn(n, [&](int rank) {
+    lci::g_runtime_init(attr);
+    fn(rank);
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Smoke, InitFina) {
+  run_ranks(2, [](int rank) {
+    EXPECT_EQ(lci::get_rank_me(), rank);
+    EXPECT_EQ(lci::get_rank_n(), 2);
+  });
+}
+
+TEST(Smoke, EagerSendRecv) {
+  run_ranks(2, [](int rank) {
+    const int peer = 1 - rank;
+    if (rank == 0) {
+      char msg[32] = "hello from rank 0";
+      lci::status_t status;
+      do {
+        status = lci::post_send(peer, msg, sizeof(msg), /*tag=*/7, {});
+        lci::progress();
+      } while (status.error.is_retry());
+    } else {
+      char buf[32] = {};
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::status_t status = lci::post_recv(0, buf, sizeof(buf), 7, sync);
+      if (status.error.is_posted()) lci::sync_wait(sync, &status);
+      EXPECT_TRUE(status.error.is_done());
+      EXPECT_STREQ(buf, "hello from rank 0");
+      EXPECT_EQ(status.rank, 0);
+      EXPECT_EQ(status.tag, 7u);
+      lci::free_comp(&sync);
+    }
+    lci::barrier();
+  });
+}
+
+TEST(Smoke, RendezvousSendRecv) {
+  run_ranks(2, [](int rank) {
+    const std::size_t big = 1 << 20;  // 1 MiB, far beyond the eager threshold
+    if (rank == 0) {
+      std::vector<char> msg(big);
+      std::iota(msg.begin(), msg.end(), 0);
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::status_t status;
+      do {
+        status = lci::post_send(1, msg.data(), big, 9, sync);
+        lci::progress();
+      } while (status.error.is_retry());
+      if (status.error.is_posted()) lci::sync_wait(sync, &status);
+      lci::free_comp(&sync);
+    } else {
+      std::vector<char> buf(big, 0);
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::status_t status = lci::post_recv(0, buf.data(), big, 9, sync);
+      if (status.error.is_posted()) lci::sync_wait(sync, &status);
+      EXPECT_TRUE(status.error.is_done());
+      EXPECT_EQ(status.buffer.size, big);
+      std::vector<char> expect(big);
+      std::iota(expect.begin(), expect.end(), 0);
+      EXPECT_EQ(std::memcmp(buf.data(), expect.data(), big), 0);
+      lci::free_comp(&sync);
+    }
+    lci::barrier();
+  });
+}
+
+TEST(Smoke, ActiveMessage) {
+  run_ranks(2, [](int rank) {
+    lci::comp_t rcq = lci::alloc_cq();
+    const lci::rcomp_t rcomp = lci::register_rcomp(rcq);
+    lci::barrier();  // both rcomps registered
+    const int peer = 1 - rank;
+    char msg[64];
+    snprintf(msg, sizeof(msg), "am from %d", rank);
+    lci::status_t status;
+    do {
+      status = lci::post_am_x(peer, msg, sizeof(msg), {}, rcomp).tag(3)();
+      lci::progress();
+    } while (status.error.is_retry());
+
+    lci::status_t incoming;
+    do {
+      lci::progress();
+      incoming = lci::cq_pop(rcq);
+    } while (!incoming.error.is_done());
+    char expect[64];
+    snprintf(expect, sizeof(expect), "am from %d", peer);
+    EXPECT_STREQ(static_cast<char*>(incoming.buffer.base), expect);
+    EXPECT_EQ(incoming.rank, peer);
+    EXPECT_EQ(incoming.tag, 3u);
+    std::free(incoming.buffer.base);
+
+    lci::barrier();
+    lci::deregister_rcomp(rcomp);
+    lci::free_comp(&rcq);
+  });
+}
+
+TEST(Smoke, PutGet) {
+  run_ranks(2, [](int rank) {
+    // Each rank exposes a registered window; peers put into [0,64) and get
+    // from [64,128).
+    std::vector<char> window(128, static_cast<char>('A' + rank));
+    lci::mr_t mr = lci::register_memory(window.data(), window.size());
+    lci::rmr_t my_rmr = lci::get_rmr(mr);
+
+    // Exchange rmrs via send/recv (out-of-band channel in a real system).
+    lci::rmr_t peer_rmr;
+    const int peer = 1 - rank;
+    lci::comp_t sync = lci::alloc_sync(1);
+    lci::status_t rstatus =
+        lci::post_recv(peer, &peer_rmr, sizeof(peer_rmr), 100, sync);
+    lci::status_t sstatus;
+    do {
+      sstatus = lci::post_send(peer, &my_rmr, sizeof(my_rmr), 100, {});
+      lci::progress();
+    } while (sstatus.error.is_retry());
+    if (rstatus.error.is_posted()) lci::sync_wait(sync, &rstatus);
+
+    // Put 64 bytes into the peer's window.
+    char payload[64];
+    std::memset(payload, '0' + rank, sizeof(payload));
+    lci::comp_t put_sync = lci::alloc_sync(1);
+    lci::status_t put_status;
+    do {
+      put_status =
+          lci::post_put(peer, payload, sizeof(payload), put_sync, peer_rmr);
+      lci::progress();
+    } while (put_status.error.is_retry());
+    if (put_status.error.is_posted()) lci::sync_wait(put_sync, nullptr);
+    lci::barrier();
+    EXPECT_EQ(window[0], '0' + peer);
+    EXPECT_EQ(window[63], '0' + peer);
+    EXPECT_EQ(window[64], 'A' + rank);  // untouched
+
+    // Get 64 bytes from the peer's window tail.
+    char fetched[64] = {};
+    lci::comp_t get_sync = lci::alloc_sync(1);
+    lci::status_t get_status;
+    do {
+      get_status = lci::post_get(peer, fetched, sizeof(fetched), get_sync,
+                                 peer_rmr, 64);
+      lci::progress();
+    } while (get_status.error.is_retry());
+    if (get_status.error.is_posted()) lci::sync_wait(get_sync, nullptr);
+    EXPECT_EQ(fetched[0], 'A' + peer);
+    EXPECT_EQ(fetched[63], 'A' + peer);
+
+    lci::barrier();
+    lci::free_comp(&get_sync);
+    lci::free_comp(&put_sync);
+    lci::free_comp(&sync);
+    lci::deregister_memory(&mr);
+  });
+}
+
+TEST(Smoke, Collectives) {
+  run_ranks(4, [](int rank) {
+    lci::barrier();
+    int value = rank == 2 ? 42 : -1;
+    lci::broadcast(&value, sizeof(value), /*root=*/2);
+    EXPECT_EQ(value, 42);
+
+    const int mine = rank + 1;
+    int total = 0;
+    lci::reduce(
+        &mine, &total, sizeof(int),
+        [](void* acc, const void* in, std::size_t) {
+          *static_cast<int*>(acc) += *static_cast<const int*>(in);
+        },
+        /*root=*/0);
+    if (rank == 0) {
+      EXPECT_EQ(total, 1 + 2 + 3 + 4);
+    }
+    lci::barrier();
+  });
+}
+
+}  // namespace

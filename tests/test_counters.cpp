@@ -1,0 +1,184 @@
+// Statistics-counter tests: the protocol mix reported by get_counters must
+// reflect exactly what the traffic did.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lci.hpp"
+
+namespace {
+
+lci::runtime_attr_t small_attr() {
+  lci::runtime_attr_t attr;
+  attr.matching_engine_buckets = 256;
+  return attr;
+}
+
+void exchange(int peer, std::size_t size, lci::tag_t tag) {
+  std::vector<char> out(size, 'x'), in(size, 0);
+  lci::comp_t sync = lci::alloc_sync(1);
+  lci::status_t rs = lci::post_recv(peer, in.data(), size, tag, sync);
+  lci::comp_t ssync = lci::alloc_sync(1);
+  lci::status_t ss;
+  do {
+    ss = lci::post_send(peer, out.data(), size, tag, ssync);
+    lci::progress();
+  } while (ss.error.is_retry());
+  if (ss.error.is_posted()) lci::sync_wait(ssync, nullptr);
+  if (rs.error.is_posted()) lci::sync_wait(sync, &rs);
+  lci::free_comp(&sync);
+  lci::free_comp(&ssync);
+}
+
+TEST(Counters, ProtocolMixBySize) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    const int peer = 1 - rank;
+    lci::reset_counters();
+    lci::barrier();
+
+    constexpr int injects = 5, bcopies = 3, rdvs = 2;
+    for (int i = 0; i < injects; ++i) exchange(peer, 8, 1);        // inject
+    for (int i = 0; i < bcopies; ++i) exchange(peer, 1024, 2);     // bcopy
+    for (int i = 0; i < rdvs; ++i) exchange(peer, 64 * 1024, 3);   // rdv
+
+    const lci::counters_t counters = lci::get_counters();
+    // The barrier's own token exchange also counts as inject traffic, so
+    // inject/recv counters are lower bounds; bcopy and rdv are exact.
+    EXPECT_GE(counters.send_inject, static_cast<uint64_t>(injects));
+    EXPECT_EQ(counters.send_bcopy, static_cast<uint64_t>(bcopies));
+    EXPECT_EQ(counters.send_rdv, static_cast<uint64_t>(rdvs));
+    EXPECT_GE(counters.recv_posted,
+              static_cast<uint64_t>(injects + bcopies + rdvs));
+    EXPECT_GE(counters.recv_matched,
+              static_cast<uint64_t>(injects + bcopies + rdvs));
+    EXPECT_GT(counters.progress_calls, 0u);
+    EXPECT_EQ(counters.am_delivered, 0u);
+
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Counters, AmAndRmaCounts) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    const int peer = 1 - rank;
+    lci::comp_t rcq = lci::alloc_cq();
+    const lci::rcomp_t rcomp = lci::register_rcomp(rcq);
+    std::vector<char> window(256, 0);
+    lci::mr_t mr = lci::register_memory(window.data(), window.size());
+    lci::rmr_t my_rmr = lci::get_rmr(mr);
+    std::vector<lci::rmr_t> rmrs(2);
+    lci::allgather(&my_rmr, rmrs.data(), sizeof(lci::rmr_t));
+    // Reset BEFORE the barrier: a peer past the barrier may deliver its AMs
+    // into our progress while we are still inside it.
+    lci::reset_counters();
+    lci::barrier();
+
+    // 4 active messages.
+    char payload[32] = "count me";
+    for (int i = 0; i < 4; ++i) {
+      lci::status_t ss;
+      do {
+        ss = lci::post_am(peer, payload, sizeof(payload), {}, rcomp);
+        lci::progress();
+      } while (ss.error.is_retry());
+    }
+    int received = 0;
+    while (received < 4) {
+      lci::progress();
+      lci::status_t s = lci::cq_pop(rcq);
+      if (s.error.is_done()) {
+        std::free(s.buffer.base);
+        ++received;
+      }
+    }
+
+    // 2 puts, 1 get.
+    lci::comp_t sync = lci::alloc_sync(1);
+    for (int i = 0; i < 2; ++i) {
+      lci::status_t ss;
+      do {
+        ss = lci::post_put(peer, payload, sizeof(payload), sync,
+                           rmrs[static_cast<std::size_t>(peer)], 0);
+        lci::progress();
+      } while (ss.error.is_retry());
+      if (ss.error.is_posted()) lci::sync_wait(sync, nullptr);
+    }
+    char fetched[32];
+    lci::status_t gs;
+    do {
+      gs = lci::post_get(peer, fetched, sizeof(fetched), sync,
+                         rmrs[static_cast<std::size_t>(peer)], 0);
+      lci::progress();
+    } while (gs.error.is_retry());
+    if (gs.error.is_posted()) lci::sync_wait(sync, nullptr);
+
+    const lci::counters_t counters = lci::get_counters();
+    EXPECT_GE(counters.send_inject, 4u);  // the four AMs (32B -> inject)
+    EXPECT_EQ(counters.am_delivered, 4u);
+    EXPECT_EQ(counters.rma_put, 2u);
+    EXPECT_EQ(counters.rma_get, 1u);
+
+    lci::barrier();
+    lci::free_comp(&sync);
+    lci::deregister_rcomp(rcomp);
+    lci::free_comp(&rcq);
+    lci::deregister_memory(&mr);
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Counters, ResetClearsEverything) {
+  lci::sim::spawn(1, [](int) {
+    lci::g_runtime_init(small_attr());
+    lci::progress();
+    EXPECT_GT(lci::get_counters().progress_calls, 0u);
+    lci::reset_counters();
+    EXPECT_EQ(lci::get_counters().progress_calls, 0u);
+    EXPECT_EQ(lci::get_counters().send_inject, 0u);
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Counters, RetryAndBacklogAreCounted) {
+  lci::net::config_t net_config;
+  net_config.wire_depth = 2;
+  lci::sim::spawn(
+      2,
+      [&](int rank) {
+        lci::g_runtime_init(small_attr());
+        const int peer = 1 - rank;
+        lci::barrier();
+        lci::reset_counters();
+        // Burst into a 2-deep wire: retries and/or backlog pushes must show.
+        char byte = 'b';
+        lci::comp_t scq = lci::alloc_cq();
+        int owed = 0;
+        for (int i = 0; i < 64; ++i) {
+          const auto ss =
+              lci::post_send_x(peer, &byte, 1, 9, scq).allow_retry(false)();
+          if (ss.error.is_posted()) ++owed;
+        }
+        lci::comp_t rsync = lci::alloc_sync(64);
+        char in[64];
+        for (int i = 0; i < 64; ++i)
+          (void)lci::post_recv_x(peer, &in[i], 1, 9, rsync)
+              .allow_done(false)();
+        lci::sync_wait(rsync, nullptr);
+        while (owed > 0) {
+          lci::progress();
+          if (lci::cq_pop(scq).error.is_done()) --owed;
+        }
+        const lci::counters_t counters = lci::get_counters();
+        EXPECT_GT(counters.retry_nomem + counters.backlog_pushed, 0u);
+        lci::barrier();
+        lci::free_comp(&scq);
+        lci::free_comp(&rsync);
+        lci::g_runtime_fina();
+      },
+      net_config);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// FASTA/FASTQ I/O tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kmer/fasta.hpp"
+#include "kmer/kmer.hpp"
+#include "kmer/read_generator.hpp"
+
+namespace {
+
+TEST(Fasta, ParsesMultiRecordWrappedSequences) {
+  std::istringstream in(
+      ">chr1 description text\n"
+      "ACGTACGT\n"
+      "TTGG\n"
+      "; a comment line\n"
+      "\n"
+      ">chr2\n"
+      "CCCC\n");
+  const auto records = kmer::read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "chr1");
+  EXPECT_EQ(records[0].sequence, "ACGTACGTTTGG");
+  EXPECT_EQ(records[1].name, "chr2");
+  EXPECT_EQ(records[1].sequence, "CCCC");
+}
+
+TEST(Fasta, HandlesCrlfAndInlineWhitespace) {
+  std::istringstream in(">r\r\nAC GT\r\nTT\r\n");
+  const auto records = kmer::read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGTTT");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  std::istringstream headerless("ACGT\n");
+  EXPECT_THROW(kmer::read_fasta(headerless), std::runtime_error);
+  std::istringstream empty_header(">\nACGT\n");
+  EXPECT_THROW(kmer::read_fasta(empty_header), std::runtime_error);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<kmer::sequence_record_t> records = {
+      {"a", "ACGTACGTACGTACGTACGT"},
+      {"b", std::string(200, 'G')},
+      {"c", ""},
+  };
+  std::ostringstream out;
+  kmer::write_fasta(out, records, /*line_width=*/8);
+  std::istringstream in(out.str());
+  const auto parsed = kmer::read_fasta(in);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, records[i].name);
+    EXPECT_EQ(parsed[i].sequence, records[i].sequence);
+  }
+}
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in(
+      "@read1 lane=1\n"
+      "ACGT\n"
+      "+\n"
+      "IIII\n"
+      "@read2\n"
+      "GG\n"
+      "+read2\n"
+      "##\n");
+  const auto records = kmer::read_fastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "read1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[1].name, "read2");
+  EXPECT_EQ(records[1].sequence, "GG");
+}
+
+TEST(Fastq, RejectsMalformedRecords) {
+  std::istringstream bad_marker("read1\nACGT\n+\nIIII\n");
+  EXPECT_THROW(kmer::read_fastq(bad_marker), std::runtime_error);
+  std::istringstream missing_quality("@r\nACGT\n+\n");
+  EXPECT_THROW(kmer::read_fastq(missing_quality), std::runtime_error);
+  std::istringstream quality_mismatch("@r\nACGT\n+\nII\n");
+  EXPECT_THROW(kmer::read_fastq(quality_mismatch), std::runtime_error);
+}
+
+TEST(Fasta, SyntheticReadsExportAndReload) {
+  // The generator's reads can be exported to FASTA and reloaded with the
+  // same k-mer content — the bridge to running the pipeline on real files.
+  kmer::genome_params_t params;
+  params.genome_length = 5000;
+  params.read_length = 60;
+  params.coverage = 2;
+  kmer::read_generator_t generator(params);
+  std::vector<kmer::sequence_record_t> records;
+  for (std::size_t i = 0; i < 20; ++i)
+    records.push_back({"read" + std::to_string(i), generator.read(i)});
+  std::ostringstream out;
+  kmer::write_fasta(out, records);
+  std::istringstream in(out.str());
+  const auto reloaded = kmer::read_fasta(in);
+  ASSERT_EQ(reloaded.size(), 20u);
+  std::vector<kmer::kmer_t> original, roundtripped;
+  for (std::size_t i = 0; i < 20; ++i) {
+    kmer::extract_kmers(records[i].sequence, 21, original);
+    kmer::extract_kmers(reloaded[i].sequence, 21, roundtripped);
+  }
+  EXPECT_EQ(original, roundtripped);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// LCW configuration-knob tests: the wrapper's tuning options must actually
+// steer the backends (verified through LCI's statistics counters and
+// resource attributes rather than timing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/lci.hpp"
+#include "lcw/lcw.hpp"
+
+namespace {
+
+void rendezvous(std::atomic<int>& arrived, int n) {
+  arrived.fetch_add(1, std::memory_order_acq_rel);
+  while (arrived.load(std::memory_order_acquire) < n)
+    std::this_thread::yield();
+}
+
+// eager_size moves the lci backend's buffer-copy/rendezvous crossover: an
+// 8 KiB send is rendezvous at the 4 KiB default but buffer-copy at 16 KiB.
+TEST(LcwConfig, EagerSizeMovesTheProtocolCrossover) {
+  for (const std::size_t eager : {std::size_t{0}, std::size_t{16384}}) {
+    std::atomic<int> ready{0};
+    std::vector<uint64_t> rdv_counts(2);
+    lci::sim::spawn(2, [&](int rank) {
+      lcw::config_t config;
+      config.ndevices = 1;
+      config.enable_am = false;
+      config.max_am_size = 64;  // don't let the AM limit inflate the packets
+      config.eager_size = eager;
+      auto ctx = lcw::alloc_context(lcw::backend_t::lci, config);
+      rendezvous(ready, 2);
+      lcw::device_t* dev = ctx->device(0);
+      const int peer = 1 - rank;
+      constexpr std::size_t size = 8192;
+      std::vector<char> out(size, 'e'), in(size);
+
+      ASSERT_NE(dev->post_recv(peer, in.data(), size, 0), lcw::post_t::retry);
+      lcw::post_t s;
+      do {
+        s = dev->post_send(peer, out.data(), size, 0);
+        dev->do_progress();
+      } while (s == lcw::post_t::retry);
+      lcw::request_t req;
+      while (!dev->poll_recv(&req)) {
+        if (!dev->do_progress()) std::this_thread::yield();
+      }
+      if (s == lcw::post_t::posted) {
+        while (!dev->poll_send(&req)) {
+          if (!dev->do_progress()) std::this_thread::yield();
+        }
+      }
+      // The lcw lci context owns a private runtime; ask any runtime on this
+      // rank... the context does not expose it, so read through the send
+      // result instead: rendezvous sends report `posted`, buffer-copy sends
+      // report `done`.
+      rdv_counts[static_cast<std::size_t>(rank)] =
+          s == lcw::post_t::posted ? 1 : 0;
+      for (int i = 0; i < 500; ++i) dev->do_progress();
+    });
+    if (eager == 0) {
+      EXPECT_EQ(rdv_counts[0], 1u) << "8KiB at default crossover: rendezvous";
+      EXPECT_EQ(rdv_counts[1], 1u);
+    } else {
+      EXPECT_EQ(rdv_counts[0], 0u) << "8KiB under 16KiB crossover: eager";
+      EXPECT_EQ(rdv_counts[1], 0u);
+    }
+  }
+}
+
+// npackets caps the lci backend's pool; a context with a tiny pool still
+// moves traffic (retries recover), a sized one does too.
+TEST(LcwConfig, NpacketsOverrideStillDeliversTraffic) {
+  std::atomic<int> ready{0};
+  lci::sim::spawn(2, [&](int rank) {
+    lcw::config_t config;
+    config.ndevices = 1;
+    // Small but viable: the runtime's default device and the LCW device
+    // each pre-post 128 packets; leave slack for send staging.
+    config.npackets = 512;
+    auto ctx = lcw::alloc_context(lcw::backend_t::lci, config);
+    rendezvous(ready, 2);
+    lcw::device_t* dev = ctx->device(0);
+    const int peer = 1 - rank;
+    constexpr int count = 100;
+    char payload[512];  // buffer-copy: consumes packets
+    int sent = 0, received = 0;
+    while (sent < count || received < count) {
+      if (sent < count) {
+        if (dev->post_am(peer, payload, sizeof(payload), 0) !=
+            lcw::post_t::retry)
+          ++sent;
+      }
+      dev->do_progress();
+      lcw::request_t req;
+      while (dev->poll_recv(&req)) {
+        std::free(req.buffer);
+        ++received;
+      }
+      while (dev->poll_send(&req)) {
+      }
+    }
+    EXPECT_EQ(received, count);
+    for (int i = 0; i < 500; ++i) dev->do_progress();
+  });
+}
+
+// The mpi backend must reject dedicated-resource requests by collapsing to
+// one device, while mpix honors them — the paper's Fig. 3 feature matrix.
+TEST(LcwConfig, BackendDeviceSupportMatrix) {
+  std::atomic<int> ready{0};
+  lci::sim::spawn(1, [&](int) {
+    lcw::config_t config;
+    config.ndevices = 4;
+    auto lci_ctx = lcw::alloc_context(lcw::backend_t::lci, config);
+    auto mpi_ctx = lcw::alloc_context(lcw::backend_t::mpi, config);
+    auto mpix_ctx = lcw::alloc_context(lcw::backend_t::mpix, config);
+    auto gex_ctx = lcw::alloc_context(lcw::backend_t::gex, config);
+    rendezvous(ready, 1);
+    EXPECT_EQ(lci_ctx->ndevices(), 4);
+    EXPECT_EQ(mpi_ctx->ndevices(), 1);   // standard MPI: one global lock
+    EXPECT_EQ(mpix_ctx->ndevices(), 4);  // VCI extension replicates
+    EXPECT_EQ(gex_ctx->ndevices(), 1);   // no resource replication
+    EXPECT_TRUE(lci_ctx->supports_send_recv());
+    EXPECT_TRUE(mpi_ctx->supports_send_recv());
+    EXPECT_FALSE(gex_ctx->supports_send_recv());
+  });
+}
+
+}  // namespace
