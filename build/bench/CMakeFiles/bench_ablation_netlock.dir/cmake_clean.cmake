@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_netlock.dir/bench_ablation_netlock.cpp.o"
+  "CMakeFiles/bench_ablation_netlock.dir/bench_ablation_netlock.cpp.o.d"
+  "bench_ablation_netlock"
+  "bench_ablation_netlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_netlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resources.dir/bench_ablation_resources.cpp.o"
+  "CMakeFiles/bench_ablation_resources.dir/bench_ablation_resources.cpp.o.d"
+  "bench_ablation_resources"
+  "bench_ablation_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

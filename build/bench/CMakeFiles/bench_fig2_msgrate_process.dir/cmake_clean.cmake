@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_msgrate_process.dir/bench_fig2_msgrate_process.cpp.o"
+  "CMakeFiles/bench_fig2_msgrate_process.dir/bench_fig2_msgrate_process.cpp.o.d"
+  "bench_fig2_msgrate_process"
+  "bench_fig2_msgrate_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_msgrate_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

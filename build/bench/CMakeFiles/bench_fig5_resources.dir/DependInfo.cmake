@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_resources.cpp" "bench/CMakeFiles/bench_fig5_resources.dir/bench_fig5_resources.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_resources.dir/bench_fig5_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_amt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

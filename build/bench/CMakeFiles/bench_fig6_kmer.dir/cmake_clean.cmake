@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kmer.dir/bench_fig6_kmer.cpp.o"
+  "CMakeFiles/bench_fig6_kmer.dir/bench_fig6_kmer.cpp.o.d"
+  "bench_fig6_kmer"
+  "bench_fig6_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

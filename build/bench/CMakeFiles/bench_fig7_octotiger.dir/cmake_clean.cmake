@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_octotiger.dir/bench_fig7_octotiger.cpp.o"
+  "CMakeFiles/bench_fig7_octotiger.dir/bench_fig7_octotiger.cpp.o.d"
+  "bench_fig7_octotiger"
+  "bench_fig7_octotiger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_octotiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

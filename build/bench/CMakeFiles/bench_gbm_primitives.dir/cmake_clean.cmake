@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gbm_primitives.dir/bench_gbm_primitives.cpp.o"
+  "CMakeFiles/bench_gbm_primitives.dir/bench_gbm_primitives.cpp.o.d"
+  "bench_gbm_primitives"
+  "bench_gbm_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gbm_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

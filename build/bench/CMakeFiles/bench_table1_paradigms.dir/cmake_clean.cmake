@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_paradigms.dir/bench_table1_paradigms.cpp.o"
+  "CMakeFiles/bench_table1_paradigms.dir/bench_table1_paradigms.cpp.o.d"
+  "bench_table1_paradigms"
+  "bench_table1_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irpclib.dir/irpclib.cpp.o"
+  "CMakeFiles/irpclib.dir/irpclib.cpp.o.d"
+  "irpclib"
+  "irpclib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irpclib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

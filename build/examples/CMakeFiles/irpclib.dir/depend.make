@@ -1,0 +1,2 @@
+# Empty dependencies file for irpclib.
+# This may be replaced when dependencies are built.

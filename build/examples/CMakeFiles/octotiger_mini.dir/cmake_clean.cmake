@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octotiger_mini.dir/octotiger_mini.cpp.o"
+  "CMakeFiles/octotiger_mini.dir/octotiger_mini.cpp.o.d"
+  "octotiger_mini"
+  "octotiger_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octotiger_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

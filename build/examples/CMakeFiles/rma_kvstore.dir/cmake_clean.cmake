@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_kvstore.dir/rma_kvstore.cpp.o"
+  "CMakeFiles/rma_kvstore.dir/rma_kvstore.cpp.o.d"
+  "rma_kvstore"
+  "rma_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_irpclib "/root/repo/build/examples/irpclib")
+set_tests_properties(example_irpclib PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kmer_count "/root/repo/build/examples/kmer_count" "lci_mt" "2" "2" "20000" "17")
+set_tests_properties(example_kmer_count PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_octotiger_mini "/root/repo/build/examples/octotiger_mini" "lci" "2" "2" "3" "3" "2")
+set_tests_properties(example_octotiger_mini PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rma_kvstore "/root/repo/build/examples/rma_kvstore" "3" "32")
+set_tests_properties(example_rma_kvstore PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collective.cpp" "src/CMakeFiles/lci.dir/core/collective.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/collective.cpp.o.d"
+  "/root/repo/src/core/comp.cpp" "src/CMakeFiles/lci.dir/core/comp.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/comp.cpp.o.d"
+  "/root/repo/src/core/comp_graph.cpp" "src/CMakeFiles/lci.dir/core/comp_graph.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/comp_graph.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/CMakeFiles/lci.dir/core/device.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/device.cpp.o.d"
+  "/root/repo/src/core/packet_pool.cpp" "src/CMakeFiles/lci.dir/core/packet_pool.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/packet_pool.cpp.o.d"
+  "/root/repo/src/core/post.cpp" "src/CMakeFiles/lci.dir/core/post.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/post.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "src/CMakeFiles/lci.dir/core/progress.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/progress.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/lci.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/sim_bootstrap.cpp" "src/CMakeFiles/lci.dir/core/sim_bootstrap.cpp.o" "gcc" "src/CMakeFiles/lci.dir/core/sim_bootstrap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lci_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lci.dir/core/collective.cpp.o"
+  "CMakeFiles/lci.dir/core/collective.cpp.o.d"
+  "CMakeFiles/lci.dir/core/comp.cpp.o"
+  "CMakeFiles/lci.dir/core/comp.cpp.o.d"
+  "CMakeFiles/lci.dir/core/comp_graph.cpp.o"
+  "CMakeFiles/lci.dir/core/comp_graph.cpp.o.d"
+  "CMakeFiles/lci.dir/core/device.cpp.o"
+  "CMakeFiles/lci.dir/core/device.cpp.o.d"
+  "CMakeFiles/lci.dir/core/packet_pool.cpp.o"
+  "CMakeFiles/lci.dir/core/packet_pool.cpp.o.d"
+  "CMakeFiles/lci.dir/core/post.cpp.o"
+  "CMakeFiles/lci.dir/core/post.cpp.o.d"
+  "CMakeFiles/lci.dir/core/progress.cpp.o"
+  "CMakeFiles/lci.dir/core/progress.cpp.o.d"
+  "CMakeFiles/lci.dir/core/runtime.cpp.o"
+  "CMakeFiles/lci.dir/core/runtime.cpp.o.d"
+  "CMakeFiles/lci.dir/core/sim_bootstrap.cpp.o"
+  "CMakeFiles/lci.dir/core/sim_bootstrap.cpp.o.d"
+  "liblci.a"
+  "liblci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amt/minihpx.cpp" "src/CMakeFiles/lci_amt.dir/amt/minihpx.cpp.o" "gcc" "src/CMakeFiles/lci_amt.dir/amt/minihpx.cpp.o.d"
+  "/root/repo/src/amt/octo.cpp" "src/CMakeFiles/lci_amt.dir/amt/octo.cpp.o" "gcc" "src/CMakeFiles/lci_amt.dir/amt/octo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lci_amt.dir/amt/minihpx.cpp.o"
+  "CMakeFiles/lci_amt.dir/amt/minihpx.cpp.o.d"
+  "CMakeFiles/lci_amt.dir/amt/octo.cpp.o"
+  "CMakeFiles/lci_amt.dir/amt/octo.cpp.o.d"
+  "liblci_amt.a"
+  "liblci_amt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lci_amt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lci_baseline.dir/baseline/simgex.cpp.o"
+  "CMakeFiles/lci_baseline.dir/baseline/simgex.cpp.o.d"
+  "CMakeFiles/lci_baseline.dir/baseline/simmpi.cpp.o"
+  "CMakeFiles/lci_baseline.dir/baseline/simmpi.cpp.o.d"
+  "liblci_baseline.a"
+  "liblci_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lci_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

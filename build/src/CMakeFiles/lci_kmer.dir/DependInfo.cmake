@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmer/fasta.cpp" "src/CMakeFiles/lci_kmer.dir/kmer/fasta.cpp.o" "gcc" "src/CMakeFiles/lci_kmer.dir/kmer/fasta.cpp.o.d"
+  "/root/repo/src/kmer/kmer.cpp" "src/CMakeFiles/lci_kmer.dir/kmer/kmer.cpp.o" "gcc" "src/CMakeFiles/lci_kmer.dir/kmer/kmer.cpp.o.d"
+  "/root/repo/src/kmer/pipeline.cpp" "src/CMakeFiles/lci_kmer.dir/kmer/pipeline.cpp.o" "gcc" "src/CMakeFiles/lci_kmer.dir/kmer/pipeline.cpp.o.d"
+  "/root/repo/src/kmer/read_generator.cpp" "src/CMakeFiles/lci_kmer.dir/kmer/read_generator.cpp.o" "gcc" "src/CMakeFiles/lci_kmer.dir/kmer/read_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lci_kmer.dir/kmer/fasta.cpp.o"
+  "CMakeFiles/lci_kmer.dir/kmer/fasta.cpp.o.d"
+  "CMakeFiles/lci_kmer.dir/kmer/kmer.cpp.o"
+  "CMakeFiles/lci_kmer.dir/kmer/kmer.cpp.o.d"
+  "CMakeFiles/lci_kmer.dir/kmer/pipeline.cpp.o"
+  "CMakeFiles/lci_kmer.dir/kmer/pipeline.cpp.o.d"
+  "CMakeFiles/lci_kmer.dir/kmer/read_generator.cpp.o"
+  "CMakeFiles/lci_kmer.dir/kmer/read_generator.cpp.o.d"
+  "liblci_kmer.a"
+  "liblci_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lci_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

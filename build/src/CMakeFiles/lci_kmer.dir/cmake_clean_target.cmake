@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblci_kmer.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lci_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/lci_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/lci_net.dir/net/sim_device.cpp.o"
+  "CMakeFiles/lci_net.dir/net/sim_device.cpp.o.d"
+  "liblci_net.a"
+  "liblci_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lci_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

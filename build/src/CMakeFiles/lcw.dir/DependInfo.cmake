@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcw/lcw.cpp" "src/CMakeFiles/lcw.dir/lcw/lcw.cpp.o" "gcc" "src/CMakeFiles/lcw.dir/lcw/lcw.cpp.o.d"
+  "/root/repo/src/lcw/lcw_gex.cpp" "src/CMakeFiles/lcw.dir/lcw/lcw_gex.cpp.o" "gcc" "src/CMakeFiles/lcw.dir/lcw/lcw_gex.cpp.o.d"
+  "/root/repo/src/lcw/lcw_lci.cpp" "src/CMakeFiles/lcw.dir/lcw/lcw_lci.cpp.o" "gcc" "src/CMakeFiles/lcw.dir/lcw/lcw_lci.cpp.o.d"
+  "/root/repo/src/lcw/lcw_mpi.cpp" "src/CMakeFiles/lcw.dir/lcw/lcw_mpi.cpp.o" "gcc" "src/CMakeFiles/lcw.dir/lcw/lcw_mpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lci_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

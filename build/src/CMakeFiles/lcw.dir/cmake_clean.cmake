@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcw.dir/lcw/lcw.cpp.o"
+  "CMakeFiles/lcw.dir/lcw/lcw.cpp.o.d"
+  "CMakeFiles/lcw.dir/lcw/lcw_gex.cpp.o"
+  "CMakeFiles/lcw.dir/lcw/lcw_gex.cpp.o.d"
+  "CMakeFiles/lcw.dir/lcw/lcw_lci.cpp.o"
+  "CMakeFiles/lcw.dir/lcw/lcw_lci.cpp.o.d"
+  "CMakeFiles/lcw.dir/lcw/lcw_mpi.cpp.o"
+  "CMakeFiles/lcw.dir/lcw/lcw_mpi.cpp.o.d"
+  "liblcw.a"
+  "liblcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lcw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amt.dir/test_amt.cpp.o"
+  "CMakeFiles/test_amt.dir/test_amt.cpp.o.d"
+  "test_amt"
+  "test_amt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attrs.dir/test_attrs.cpp.o"
+  "CMakeFiles/test_attrs.dir/test_attrs.cpp.o.d"
+  "test_attrs"
+  "test_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

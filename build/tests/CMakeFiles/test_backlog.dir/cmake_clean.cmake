@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backlog.dir/test_backlog.cpp.o"
+  "CMakeFiles/test_backlog.dir/test_backlog.cpp.o.d"
+  "test_backlog"
+  "test_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

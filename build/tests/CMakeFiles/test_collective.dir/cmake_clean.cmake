@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective.dir/test_collective.cpp.o"
+  "CMakeFiles/test_collective.dir/test_collective.cpp.o.d"
+  "test_collective"
+  "test_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

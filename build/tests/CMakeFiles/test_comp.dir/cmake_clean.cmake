@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comp.dir/test_comp.cpp.o"
+  "CMakeFiles/test_comp.dir/test_comp.cpp.o.d"
+  "test_comp"
+  "test_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fasta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future.dir/test_future.cpp.o"
+  "CMakeFiles/test_future.dir/test_future.cpp.o.d"
+  "test_future"
+  "test_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

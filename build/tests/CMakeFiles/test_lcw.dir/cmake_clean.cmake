@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcw.dir/test_lcw.cpp.o"
+  "CMakeFiles/test_lcw.dir/test_lcw.cpp.o.d"
+  "test_lcw"
+  "test_lcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

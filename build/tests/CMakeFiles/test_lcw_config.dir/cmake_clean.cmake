@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcw_config.dir/test_lcw_config.cpp.o"
+  "CMakeFiles/test_lcw_config.dir/test_lcw_config.cpp.o.d"
+  "test_lcw_config"
+  "test_lcw_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcw_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

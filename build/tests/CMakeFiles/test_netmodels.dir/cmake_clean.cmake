@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netmodels.dir/test_netmodels.cpp.o"
+  "CMakeFiles/test_netmodels.dir/test_netmodels.cpp.o.d"
+  "test_netmodels"
+  "test_netmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_post_comm.dir/test_post_comm.cpp.o"
+  "CMakeFiles/test_post_comm.dir/test_post_comm.cpp.o.d"
+  "test_post_comm"
+  "test_post_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_post_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
