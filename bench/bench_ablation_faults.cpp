@@ -1,0 +1,48 @@
+// Ablation: forced-retry (fault-injection) rate vs message rate.
+//
+// The simulated fabric's fault policy forces post_send/post_write to return
+// retry_lock/retry_full at a configured rate (see docs/INTERNALS.md "Error
+// handling & backpressure"). This sweep measures what the retry/backlog
+// machinery costs as the fault rate grows: rate 0 is the baseline (the
+// injection branch is compiled in but disabled — it must be free), and the
+// higher rates show how gracefully throughput degrades when every post may
+// have to be resubmitted.
+//
+// Expected shape: monotone decline, roughly proportional to 1/(1-rate) in
+// attempted posts per delivered message, with extra loss at high rates from
+// backlog churn on the rendezvous handshakes.
+#include <cstdio>
+
+#include "pingpong.hpp"
+
+namespace {
+
+void run_case(double rate, int threads, long iterations) {
+  bench::pingpong_params_t params;
+  params.backend = lcw::backend_t::lci;
+  params.nranks = 2;
+  params.nthreads = threads;
+  params.use_am = true;
+  params.msg_size = 8;
+  params.iterations = iterations;
+  params.fabric.fault.retry_rate = rate;
+  params.fabric.fault.seed = 0x5eed5eedull;
+  const auto result = bench::run_pingpong(params);
+  std::printf("%7d  %10.2f  %9.4f\n", threads, rate, result.mmsg_per_sec);
+}
+
+}  // namespace
+
+int main() {
+  const long iterations = bench::iters(2000);
+  std::printf(
+      "# Ablation: LCI message rate vs injected forced-retry rate\n");
+  bench::print_header("Fault-injection rate",
+                      "threads  fault_rate  Mmsg/s");
+  for (const int threads : bench::pow2_up_to(bench::max_threads(), 2)) {
+    for (const double rate : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+      run_case(rate, threads, iterations);
+    }
+  }
+  return 0;
+}

@@ -59,6 +59,12 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
       while (!sync_test(sync, nullptr)) ctx.dev->progress();
       break;
     }
+    if (status.error.is_fatal()) {
+      // Retrying a fatal error would spin forever; collectives have no
+      // per-operation error reporting, so surface it as an exception.
+      free_comp(&sync);
+      throw fatal_error_t("collective send failed fatally");
+    }
     ctx.dev->progress();
   }
   free_comp(&sync);

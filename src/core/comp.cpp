@@ -146,6 +146,7 @@ device_attr_t get_attr(device_t device) {
   attr.prepost_depth = device.p->prepost_depth();
   attr.net_index = device.p->net().index();
   attr.backlog_size = device.p->backlog().size_approx();
+  attr.injected_faults = device.p->net().injected_faults();
   return attr;
 }
 

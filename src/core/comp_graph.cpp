@@ -81,7 +81,9 @@ class graph_impl_t {
 
   void run_node(uint32_t id) {
     const status_t status = nodes_[id].fn();
-    if (status.error.is_done()) {
+    if (status.error.is_done() || status.error.is_fatal()) {
+      // Fatal counts as completion: the operation will never succeed, and a
+      // stuck node would deadlock the whole graph.
       complete_node(id);
     } else if (status.error.is_retry()) {
       retry_.push(id);

@@ -29,7 +29,15 @@ struct counters_t {
   uint64_t retry_nopacket = 0;   // packet-pool exhaustion surfaced
   uint64_t retry_nomem = 0;      // send-queue/wire back-pressure surfaced
   uint64_t backlog_pushed = 0;   // operations queued on a backlog
+  uint64_t backlog_retired = 0;  // backlogged operations that completed
+  uint64_t backlog_retries = 0;  // backlog retry attempts that failed again
+  uint64_t backlog_peak_depth = 0;  // high-water mark of any backlog queue
+  uint64_t comp_fatal = 0;       // completions delivered with a fatal error
   uint64_t progress_calls = 0;
+  // Retries forced by the simulated fabric's fault-injection policy. Summed
+  // over the runtime's live devices at snapshot time (not a runtime counter
+  // cell, so reset_counters does not clear it).
+  uint64_t fault_injected = 0;
 };
 
 namespace detail {
@@ -47,6 +55,10 @@ enum class counter_id_t : int {
   retry_nopacket,
   retry_nomem,
   backlog_pushed,
+  backlog_retired,
+  backlog_retries,
+  backlog_peak_depth,
+  comp_fatal,
   progress_calls,
   count_  // sentinel
 };
@@ -56,6 +68,16 @@ class counter_block_t {
   void add(counter_id_t id, uint64_t delta = 1) noexcept {
     cells_[static_cast<std::size_t>(id)]->fetch_add(
         delta, std::memory_order_relaxed);
+  }
+
+  // Monotonic high-water mark (used by backlog_peak_depth).
+  void record_max(counter_id_t id, uint64_t value) noexcept {
+    auto& cell = *cells_[static_cast<std::size_t>(id)];
+    uint64_t seen = cell.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !cell.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   counters_t snapshot() const noexcept {
@@ -72,6 +94,10 @@ class counter_block_t {
     out.retry_nopacket = load(counter_id_t::retry_nopacket);
     out.retry_nomem = load(counter_id_t::retry_nomem);
     out.backlog_pushed = load(counter_id_t::backlog_pushed);
+    out.backlog_retired = load(counter_id_t::backlog_retired);
+    out.backlog_retries = load(counter_id_t::backlog_retries);
+    out.backlog_peak_depth = load(counter_id_t::backlog_peak_depth);
+    out.comp_fatal = load(counter_id_t::comp_fatal);
     out.progress_calls = load(counter_id_t::progress_calls);
     return out;
   }

@@ -11,6 +11,8 @@ device_impl_t::device_impl_t(runtime_impl_t* runtime,
       prepost_depth_(prepost_depth ? prepost_depth
                                    : runtime->attr().prepost_depth),
       net_device_(runtime->net_context().create_device()) {
+  backlog_.bind_counters(&runtime_->counters());
+  runtime_->register_device(this);
   // Fill the receive queue up front so early senders find buffers; further
   // replenishment is the progress engine's job.
   replenish_preposts();
@@ -21,6 +23,7 @@ device_impl_t::device_impl_t(runtime_impl_t* runtime,
 device_impl_t::~device_impl_t() {
   // Packets still sitting in the pre-posted receive queue are reclaimed when
   // the pool frees its slabs; quiesce traffic before freeing a device.
+  runtime_->unregister_device(this);
 }
 
 bool device_impl_t::replenish_preposts() {

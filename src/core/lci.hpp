@@ -95,6 +95,13 @@ enum class errorcode_t : uint8_t {
   retry_nopacket, // packet pool exhausted
   retry_nomem,    // send queue / wire full
   retry_backlog,  // backlog queue busy
+  // fatal category: the operation failed permanently. Fatal errors raised
+  // while *posting* stay C++ exceptions (Sec. 3.2.5); these codes report
+  // failures detected *after* an operation was accepted — they are returned
+  // or delivered through the completion object (exactly once), never thrown
+  // out of progress().
+  fatal,            // unclassified permanent failure
+  fatal_truncated,  // incoming message exceeds the posted receive buffer(s)
 };
 
 struct error_t {
@@ -106,7 +113,10 @@ struct error_t {
   bool is_posted() const {
     return code == errorcode_t::posted || code == errorcode_t::posted_backlog;
   }
-  bool is_retry() const { return !is_done() && !is_posted(); }
+  bool is_fatal() const {
+    return code == errorcode_t::fatal || code == errorcode_t::fatal_truncated;
+  }
+  bool is_retry() const { return !is_done() && !is_posted() && !is_fatal(); }
 };
 
 // Fatal errors are reported through C++ exceptions (Sec. 3.2.5).
@@ -227,6 +237,11 @@ int get_rank_n(runtime_t runtime = {});
 counters_t get_counters(runtime_t runtime = {});
 void reset_counters(runtime_t runtime = {});
 
+// Fault-injection attributes: the policy the runtime's fabric was created
+// with (all-zero when injection is off). Configure it through the
+// net::config_t handed to sim::spawn / sim::world_t.
+net::fault_config_t get_fault_config(runtime_t runtime = {});
+
 // ---------------------------------------------------------------------------
 // Resources (Sec. 3.2.3, 4.1)
 // ---------------------------------------------------------------------------
@@ -345,6 +360,7 @@ struct device_attr_t {
   std::size_t prepost_depth = 0;
   int net_index = -1;           // routing index within the rank's context
   std::size_t backlog_size = 0; // queued backlog operations (approximate)
+  uint64_t injected_faults = 0; // forced retries on this device's net queue
 };
 struct matching_engine_attr_t {
   std::size_t num_buckets = 0;

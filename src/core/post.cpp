@@ -221,7 +221,7 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
     // the user forbade the done shortcut.
     const bool force_signal = !args.allow_done && entry->comp != nullptr;
     status_t status;
-    complete_eager_recv(entry, packet->peer_rank, header->tag, data,
+    complete_eager_recv(r.runtime, entry, packet->peer_rank, header->tag, data,
                         packet->payload_size, &status, force_signal);
     if (force_signal) status.error.code = errorcode_t::posted;
     packet->pool->put(packet);
@@ -273,9 +273,17 @@ status_t post_comm_impl(const post_args_t& args) {
       ctx->tag = args.tag;
       const uint32_t imm =
           has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
-      const auto result = r.device->net().post_write(
-          args.rank, args.local_buffer, args.size, args.remote_buffer.id,
-          args.remote_offset, has_remote_comp, imm, ctx);
+      net::post_result_t result;
+      try {
+        result = r.device->net().post_write(
+            args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+            args.remote_offset, has_remote_comp, imm, ctx);
+      } catch (...) {
+        // Posting-time fatal (bad MR / bounds): the op context never reached
+        // the network, so it is still ours to free.
+        delete ctx;
+        throw;
+      }
       if (result != net::post_result_t::ok) {
         delete ctx;
         status = retry_status(map_net_result(result).code);
@@ -310,9 +318,15 @@ status_t post_comm_impl(const post_args_t& args) {
       ctx->tag = args.tag;
       const uint32_t imm =
           has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
-      const auto result = r.device->net().post_read(
-          args.rank, args.local_buffer, args.size, args.remote_buffer.id,
-          args.remote_offset, has_remote_comp, imm, ctx);
+      net::post_result_t result;
+      try {
+        result = r.device->net().post_read(
+            args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+            args.remote_offset, has_remote_comp, imm, ctx);
+      } catch (...) {
+        delete ctx;
+        throw;
+      }
       if (result != net::post_result_t::ok) {
         delete ctx;
         status = retry_status(map_net_result(result).code);
@@ -375,8 +389,25 @@ status_t post_comm_impl(const post_args_t& args) {
       capture->args.buffers = &capture->buffers;
     }
     r.runtime->counters().add(counter_id_t::backlog_pushed);
-    r.device->backlog().push(
-        [capture]() { return post_comm_impl(capture->args); });
+    runtime_impl_t* runtime = r.runtime;
+    r.device->backlog().push([capture, runtime]() {
+      // A backlogged operation may not throw out of the progress engine and
+      // may not vanish: a fatal resubmission failure is delivered through the
+      // completion object the user was promised (it used to be dropped).
+      try {
+        return post_comm_impl(capture->args);
+      } catch (const std::exception&) {
+        signal_comp(capture->args.local_comp.p,
+                    make_fatal_status(runtime, errorcode_t::fatal,
+                                      capture->args.rank, capture->args.tag,
+                                      capture->args.local_buffer,
+                                      capture->args.size,
+                                      capture->args.user_context));
+        status_t failed;
+        failed.error.code = errorcode_t::fatal;
+        return failed;
+      }
+    });
     status.error.code = args.local_comp.p != nullptr
                             ? errorcode_t::posted_backlog
                             : errorcode_t::done_backlog;

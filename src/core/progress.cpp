@@ -18,9 +18,15 @@ using counter_id_t = detail::counter_id_t;
 
 namespace {
 
-// Scatters `size` bytes into a buffer list (buffer-list receives).
-void scatter(const char* src, std::size_t size,
+// Scatters `size` bytes into a buffer list (buffer-list receives). Returns
+// false — copying nothing — when the list is too small for the payload; the
+// caller completes the receive with fatal_truncated. (This used to be an
+// assert, which vanished in release builds and silently truncated.)
+bool scatter(const char* src, std::size_t size,
              const std::vector<buffer_t>& list) {
+  std::size_t capacity = 0;
+  for (const buffer_t& b : list) capacity += b.size;
+  if (size > capacity) return false;
   std::size_t offset = 0;
   for (const buffer_t& b : list) {
     if (offset >= size) break;
@@ -28,7 +34,7 @@ void scatter(const char* src, std::size_t size,
     std::memcpy(b.base, src + offset, chunk);
     offset += chunk;
   }
-  assert(offset == size && "buffer list smaller than the incoming message");
+  return true;
 }
 
 struct rtr_msg_t {
@@ -37,6 +43,19 @@ struct rtr_msg_t {
 };
 
 }  // namespace
+
+status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
+                           tag_t tag, void* buffer, std::size_t size,
+                           void* user_context) {
+  runtime->counters().add(counter_id_t::comp_fatal);
+  status_t status;
+  status.error.code = code;
+  status.rank = rank;
+  status.tag = tag;
+  status.buffer = buffer_t{buffer, size};
+  status.user_context = user_context;
+  return status;
+}
 
 status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
                   uint32_t pending_id, net::mr_id_t mr) {
@@ -55,8 +74,30 @@ status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
 void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
                            int peer_rank, tag_t tag, uint32_t rdv_id,
                            uint64_t total_size, rdv_recv_t state) {
-  if (total_size > state.size)
-    throw fatal_error_t("rendezvous message larger than the receive buffer");
+  if (total_size > state.size) {
+    // Refusal: the incoming message does not fit the posted buffer. Complete
+    // the receive with fatal_truncated (exactly once, via its comp) and NACK
+    // the sender — an RTR carrying net::invalid_mr — so the sender fails too
+    // instead of waiting forever for a handshake that will never come. This
+    // path used to throw out of the progress engine, leaking the pending
+    // rendezvous on both sides.
+    void* user_buffer = state.runtime_owned_buffer ? nullptr : state.buffer;
+    if (state.runtime_owned_buffer) std::free(state.buffer);
+    signal_comp(state.comp,
+                make_fatal_status(runtime, errorcode_t::fatal_truncated,
+                                  peer_rank, tag, user_buffer,
+                                  static_cast<std::size_t>(total_size),
+                                  state.user_context));
+    const status_t nack =
+        send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
+    if (nack.error.is_retry()) {
+      runtime->counters().add(counter_id_t::backlog_pushed);
+      device->backlog().push([device, peer_rank, rdv_id]() {
+        return send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
+      });
+    }
+    return;
+  }
   state.size = static_cast<std::size_t>(total_size);
   state.peer_rank = peer_rank;
   state.tag = tag;
@@ -81,22 +122,31 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
   }
 }
 
-void complete_eager_recv(recv_entry_t* entry, int peer_rank, tag_t tag,
-                         const char* data, std::size_t size,
-                         status_t* out_status, bool signal) {
+void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
+                         int peer_rank, tag_t tag, const char* data,
+                         std::size_t size, status_t* out_status, bool signal) {
   status_t status;
   status.error.code = errorcode_t::done;
   status.rank = peer_rank;
   status.tag = tag;
   status.user_context = entry->user_context;
   if (!entry->list.empty()) {
-    scatter(data, size, entry->list);
-    status.buffer = buffer_t{nullptr, size};
-  } else {
-    if (size > entry->size)
-      throw fatal_error_t("incoming message larger than the receive buffer");
+    if (scatter(data, size, entry->list)) {
+      status.buffer = buffer_t{nullptr, size};
+    } else {
+      status = make_fatal_status(runtime, errorcode_t::fatal_truncated,
+                                 peer_rank, tag, nullptr, size,
+                                 entry->user_context);
+    }
+  } else if (size <= entry->size) {
     std::memcpy(entry->buffer, data, size);
     status.buffer = buffer_t{entry->buffer, size};
+  } else {
+    // Truncation completes the receive with an error instead of throwing out
+    // of the progress engine (which stranded the sender's matched packet).
+    status = make_fatal_status(runtime, errorcode_t::fatal_truncated,
+                               peer_rank, tag, entry->buffer, size,
+                               entry->user_context);
   }
   if (signal) signal_comp(entry->comp, status);
   if (out_status != nullptr) *out_status = status;
@@ -129,8 +179,8 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       if (matched == nullptr) return;  // unexpected: packet retained
       auto* entry = static_cast<recv_entry_t*>(matched);
       runtime_->counters().add(counter_id_t::recv_matched);
-      complete_eager_recv(entry, cqe.peer_rank, header->tag, data, data_size,
-                          nullptr, /*signal=*/true);
+      complete_eager_recv(runtime_, entry, cqe.peer_rank, header->tag, data,
+                          data_size, nullptr, /*signal=*/true);
       packet->pool->put(packet);
       return;
     }
@@ -186,13 +236,19 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       return;
     }
     case msg_header_t::rts_am: {
+      comp_impl_t* comp = runtime_->lookup_rcomp(header->rcomp);
+      if (comp == nullptr)
+        throw fatal_error_t("rendezvous active message names an unknown rcomp");
       rts_payload_t rts;
       std::memcpy(&rts, data, sizeof(rts));
       rdv_recv_t state;
       state.size = static_cast<std::size_t>(rts.size);
       state.buffer = std::malloc(state.size ? state.size : 1);
-      state.comp = runtime_->lookup_rcomp(header->rcomp);
-      state.runtime_owned_buffer = false;  // ownership passes to the client
+      state.comp = comp;
+      // The runtime owns the malloc until the payload is delivered at FIN
+      // (where ownership passes to the AM consumer); a fatal handshake frees
+      // it here instead of leaking.
+      state.runtime_owned_buffer = true;
       start_rendezvous_recv(runtime_, this, cqe.peer_rank, header->tag,
                             rts.rdv_id, rts.size, std::move(state));
       packet->pool->put(packet);
@@ -204,6 +260,17 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       rdv_send_t send;
       if (!runtime_->pending_sends().take(rtr.rdv_id, &send))
         throw fatal_error_t("RTR for an unknown rendezvous send");
+      if (rtr.mr_id == net::invalid_mr) {
+        // Receiver refused the rendezvous (posted buffer too small). Fail
+        // this send exactly once; the staged gather (if any) dies with
+        // `send` when it goes out of scope.
+        signal_comp(send.comp,
+                    make_fatal_status(runtime_, errorcode_t::fatal_truncated,
+                                      send.peer_rank, send.tag, send.buffer,
+                                      send.size, send.user_context));
+        packet->pool->put(packet);
+        return;
+      }
       const void* src = send.staged ? send.staged.get() : send.buffer;
       auto* ctx = new op_ctx_t;
       ctx->kind = ctx_kind_t::rdv_write;
@@ -218,11 +285,28 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       const int peer = cqe.peer_rank;
       const net::mr_id_t mr = rtr.mr_id;
       const uint32_t imm = encode_fin_imm(rtr.pending_id);
+      // Single owner of `staged` and `ctx` on every exit: retry keeps both
+      // for the next attempt, done hands ctx to the write CQE and frees the
+      // gather, fatal frees both and delivers the error to the user's comp
+      // (this path used to leak ctx and drop the completion silently). Must
+      // not throw: the backlog queue retires whatever status comes back.
       auto attempt = [this, peer, src, mr, imm, ctx, staged]() {
         status_t status;
-        status.error = map_net_result(net_device_->post_write(
-            peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
-        if (!status.error.is_retry()) delete[] staged;  // freed on submission
+        try {
+          status.error = map_net_result(net_device_->post_write(
+              peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
+        } catch (const std::exception&) {
+          status.error.code = errorcode_t::fatal;
+        }
+        if (status.error.is_retry()) return status;
+        delete[] staged;
+        if (!status.error.is_done()) {
+          signal_comp(ctx->comp,
+                      make_fatal_status(runtime_, errorcode_t::fatal,
+                                        ctx->rank, ctx->tag, ctx->buffer,
+                                        ctx->size, ctx->user_context));
+          delete ctx;
+        }
         return status;
       };
       const status_t status = attempt();
@@ -277,10 +361,15 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
         status.user_context = state.user_context;
         if (!state.list.empty()) {
           // Buffer-list receive: scatter out of the runtime staging buffer.
-          scatter(static_cast<const char*>(state.buffer), state.size,
-                  state.list);
+          if (scatter(static_cast<const char*>(state.buffer), state.size,
+                      state.list)) {
+            status.buffer = buffer_t{nullptr, state.size};
+          } else {
+            status = make_fatal_status(runtime_, errorcode_t::fatal_truncated,
+                                       state.peer_rank, state.tag, nullptr,
+                                       state.size, state.user_context);
+          }
           std::free(state.buffer);
-          status.buffer = buffer_t{nullptr, state.size};
         } else {
           status.buffer = buffer_t{state.buffer, state.size};
         }
@@ -312,8 +401,10 @@ bool device_impl_t::progress() {
   net::cqe_t cqes[32];
   const auto polled = net_device_->poll_cq(cqes, 32);
   for (std::size_t i = 0; i < polled.count; ++i) {
-    const bool did = handle_cqe(cqes[i]);
-    advanced = advanced || did || cqes[i].op != net::op_t::send;
+    // Accumulate with |= so every CQE is handled; `advanced` must report only
+    // what handle_cqe says (the old `|| cqe.op != send` term claimed progress
+    // for no-op completions, defeating callers that spin until quiescence).
+    advanced |= handle_cqe(cqes[i]);
   }
   // (7) Keep the receive queue full.
   advanced |= replenish_preposts();

@@ -95,6 +95,14 @@ matching_engine_impl_t* runtime_impl_t::lookup_engine(uint16_t id) const {
   return engine_registry_.get(id);
 }
 
+uint64_t runtime_impl_t::injected_faults() const {
+  std::lock_guard<util::spinlock_t> guard(device_lock_);
+  uint64_t total = 0;
+  for (device_impl_t* device : devices_)
+    total += device->net().injected_faults();
+  return total;
+}
+
 runtime_impl_t* resolve_runtime(runtime_t runtime) {
   if (runtime.p != nullptr) return runtime.p;
   runtime_t g = get_g_runtime();
@@ -117,11 +125,18 @@ int get_rank_n(runtime_t runtime) {
 }
 
 counters_t get_counters(runtime_t runtime) {
-  return detail::resolve_runtime(runtime)->counters().snapshot();
+  auto* rt = detail::resolve_runtime(runtime);
+  counters_t c = rt->counters().snapshot();
+  c.fault_injected = rt->injected_faults();
+  return c;
 }
 
 void reset_counters(runtime_t runtime) {
   detail::resolve_runtime(runtime)->counters().reset();
+}
+
+net::fault_config_t get_fault_config(runtime_t runtime) {
+  return detail::resolve_runtime(runtime)->net_config().fault;
 }
 
 matching_engine_t alloc_matching_engine(runtime_t runtime,

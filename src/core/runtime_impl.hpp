@@ -31,12 +31,26 @@ namespace lci::detail {
 class backlog_queue_t {
  public:
   // A backlogged operation: returns a status; retry-category => stay queued.
+  // Done/posted/fatal all retire the entry — an op that can fail fatally
+  // must deliver that error to its completion object itself (the queue has
+  // no idea who to tell), and must not throw.
   using op_t = std::function<status_t()>;
 
+  // Optional statistics sink: the owning device points this at its
+  // runtime's counter block so pushes, retries, retirements, and the depth
+  // high-water mark are accounted (null: standalone use, e.g. unit tests).
+  void bind_counters(counter_block_t* counters) { counters_ = counters; }
+
   void push(op_t op) {
-    std::lock_guard<util::spinlock_t> guard(lock_);
-    queue_.push_back(std::move(op));
-    nonempty_.store(true, std::memory_order_release);
+    std::size_t depth;
+    {
+      std::lock_guard<util::spinlock_t> guard(lock_);
+      queue_.push_back(std::move(op));
+      depth = queue_.size();
+      nonempty_.store(true, std::memory_order_release);
+    }
+    if (counters_ != nullptr)
+      counters_->record_max(counter_id_t::backlog_peak_depth, depth);
   }
 
   // Retries queued operations in order; stops at the first one that still
@@ -57,10 +71,13 @@ class backlog_queue_t {
       }
       const status_t status = op();
       if (status.error.is_retry()) {
+        if (counters_ != nullptr)
+          counters_->add(counter_id_t::backlog_retries);
         std::lock_guard<util::spinlock_t> guard(lock_);
         queue_.push_front(std::move(op));
         return advanced;
       }
+      if (counters_ != nullptr) counters_->add(counter_id_t::backlog_retired);
       advanced = true;
     }
   }
@@ -74,6 +91,7 @@ class backlog_queue_t {
   mutable util::spinlock_t lock_;
   std::deque<op_t> queue_;
   std::atomic<bool> nonempty_{false};
+  counter_block_t* counters_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -236,12 +254,39 @@ class runtime_impl_t {
 
   detail::counter_block_t& counters() noexcept { return counters_; }
 
+  const net::config_t& net_config() const noexcept {
+    return fabric_->config();
+  }
+
+  // Device registry: every live device of this runtime, so snapshot-time
+  // statistics (fault-injection totals) can be summed across devices.
+  void register_device(device_impl_t* device) {
+    std::lock_guard<util::spinlock_t> guard(device_lock_);
+    devices_.push_back(device);
+  }
+  void unregister_device(device_impl_t* device) {
+    std::lock_guard<util::spinlock_t> guard(device_lock_);
+    for (auto it = devices_.begin(); it != devices_.end(); ++it) {
+      if (*it == device) {
+        devices_.erase(it);
+        break;
+      }
+    }
+  }
+  uint64_t injected_faults() const;  // defined in runtime.cpp
+
  private:
   const runtime_attr_t attr_;
   std::shared_ptr<net::fabric_t> fabric_;
   std::unique_ptr<net::context_t> net_context_;
   const int rank_;
   const int nranks_;
+
+  // Declared before the devices themselves so the registry outlives every
+  // device (members are destroyed in reverse declaration order and device
+  // destructors unregister here).
+  mutable util::spinlock_t device_lock_;
+  std::vector<device_impl_t*> devices_;  // guarded by device_lock_
 
   std::unique_ptr<packet_pool_impl_t> default_pool_;
   std::unique_ptr<matching_engine_impl_t> default_engine_;
@@ -296,15 +341,25 @@ status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
 
 // Continues a matched rendezvous on the receive side: registers the target
 // buffer, records the pending receive, and sends the RTR (falling back to the
-// device backlog when the network pushes back).
+// device backlog when the network pushes back). If the incoming message is
+// larger than the posted buffer, the receive completes with fatal_truncated
+// and a refusal RTR (mr == net::invalid_mr) tells the sender to fail too.
 void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
                            int peer_rank, tag_t tag, uint32_t rdv_id,
                            uint64_t total_size, rdv_recv_t state);
 
 // Delivers an eager payload into a matched receive and signals its comp.
-// Consumes (deletes) the entry.
-void complete_eager_recv(recv_entry_t* entry, int peer_rank, tag_t tag,
-                         const char* data, std::size_t size,
-                         status_t* out_status, bool signal);
+// Consumes (deletes) the entry. An oversized payload (posted buffer or
+// buffer list too small) completes the receive with fatal_truncated instead
+// of writing past the buffer.
+void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
+                         int peer_rank, tag_t tag, const char* data,
+                         std::size_t size, status_t* out_status, bool signal);
+
+// Builds the status delivered with a fatal completion and bumps the
+// comp_fatal counter. Shared by the truncation/backlog/RTR failure paths.
+status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
+                           tag_t tag, void* buffer, std::size_t size,
+                           void* user_context);
 
 }  // namespace lci::detail

@@ -67,6 +67,9 @@ class lci_device_t final : public device_t {
   static post_t map(const lci::status_t& status) {
     if (status.error.is_done()) return post_t::done;
     if (status.error.is_posted()) return post_t::posted;
+    if (status.error.is_fatal())
+      // LCW's ternary result has no error arm; retry would loop forever.
+      throw lci::fatal_error_t("LCI operation failed fatally");
     return post_t::retry;
   }
 

@@ -46,6 +46,43 @@ inline constexpr mr_id_t invalid_mr = ~uint32_t{0};
 enum class lock_model_t : uint8_t { ibv, ofi };
 enum class td_strategy_t : uint8_t { per_qp, all_qp, none };
 
+// Deterministic fault injection. Under organic load the fabric returns
+// retry_lock / retry_full only on rare real contention, which leaves the
+// runtime's backlog and retry paths nearly untested. This policy lets a
+// per-device, seeded RNG force those results on demand:
+//
+//  * retry_rate — probability that post_send/post_write/post_read bounces
+//    with a retry result before touching any fabric state (split between
+//    retry_lock and retry_full by lock_fraction),
+//  * send_depth / wire_depth — shrink the effective send-queue and
+//    wire-mailbox depths used by the backpressure checks, forcing organic
+//    retry_full under modest traffic,
+//  * delay_rate / delay_polls — hold a wire message back for a number of
+//    delivery attempts (per-sender FIFO order is preserved, so this models
+//    slow links at the completion-visibility level, not reordering).
+//
+// Each device derives its RNG stream from (seed, rank, context, device
+// index), so a single-threaded replay is bit-reproducible; multithreaded
+// runs keep per-device determinism of the decision sequence while the
+// interleaving chooses which operation draws each decision.
+struct fault_config_t {
+  double retry_rate = 0.0;     // [0,1] forced-retry probability per post
+  double lock_fraction = 0.5;  // injected retries reported as retry_lock
+  uint64_t seed = 0x5eed5eedull;
+  // Cap on injected retries per device (0 = unlimited). A nonzero cap
+  // guarantees forward progress even at retry_rate == 1.0.
+  uint64_t max_faults = 0;
+  std::size_t send_depth = 0;  // 0 = use config_t::cq_depth
+  std::size_t wire_depth = 0;  // 0 = use config_t::wire_depth
+  double delay_rate = 0.0;     // [0,1] per-message delivery-delay probability
+  uint32_t delay_polls = 4;    // delivery attempts a delayed message skips
+
+  bool enabled() const {
+    return retry_rate > 0.0 || send_depth != 0 || wire_depth != 0 ||
+           delay_rate > 0.0;
+  }
+};
+
 struct config_t {
   lock_model_t lock_model = lock_model_t::ibv;
   td_strategy_t td_strategy = td_strategy_t::per_qp;
@@ -63,6 +100,8 @@ struct config_t {
   // transfer time at the completion-visibility level.
   double latency_us = 0.0;
   double bandwidth_gbps = 0.0;  // 0 = infinite
+  // Deterministic fault injection (off by default; see fault_config_t).
+  fault_config_t fault{};
 };
 
 // Completion kinds. `remote_write` / `remote_read` are target-side
@@ -116,6 +155,9 @@ class device_t {
 
   // Diagnostics.
   virtual std::size_t preposted_recvs() const = 0;
+  // Retries forced by the fault-injection policy on this device (0 when
+  // injection is off or the backend does not support it).
+  virtual uint64_t injected_faults() const { return 0; }
 };
 
 class context_t {

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
@@ -15,10 +16,47 @@ sim_device_t::sim_device_t(sim_fabric_t* fabric, int rank, int context)
         static_cast<std::size_t>(fabric_->nranks()));
   }
   index_ = fabric_->register_device(rank_, context_, this);
+  // Derive this device's fault-injection stream from its coordinates so a
+  // fixed policy seed reproduces the same per-device decision sequence.
+  uint64_t mix = fabric_->config().fault.seed;
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(rank_);
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(context_);
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(index_);
+  fault_rng_ = util::xoshiro256_t(mix);
 }
 
 sim_device_t::~sim_device_t() {
   fabric_->unregister_device(rank_, context_, index_);
+}
+
+post_result_t sim_device_t::maybe_inject_fault() {
+  const fault_config_t& fault = fabric_->config().fault;
+  if (fault.retry_rate <= 0.0) return post_result_t::ok;
+  if (fault.max_faults != 0 &&
+      injected_faults_.load(std::memory_order_relaxed) >= fault.max_faults)
+    return post_result_t::ok;
+  bool as_lock_miss;
+  {
+    std::lock_guard<util::spinlock_t> guard(fault_lock_);
+    if (fault_rng_.uniform() >= fault.retry_rate) return post_result_t::ok;
+    as_lock_miss = fault_rng_.uniform() < fault.lock_fraction;
+  }
+  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  return as_lock_miss ? post_result_t::retry_lock : post_result_t::retry_full;
+}
+
+std::size_t sim_device_t::effective_send_depth() const {
+  const config_t& cfg = fabric_->config();
+  return cfg.fault.send_depth != 0 ? std::min(cfg.fault.send_depth,
+                                              cfg.cq_depth)
+                                   : cfg.cq_depth;
+}
+
+std::size_t sim_device_t::effective_wire_depth() const {
+  const config_t& cfg = fabric_->config();
+  return cfg.fault.wire_depth != 0 ? std::min(cfg.fault.wire_depth,
+                                              cfg.wire_depth)
+                                   : cfg.wire_depth;
 }
 
 util::try_lock_wrapper_t::guard_t sim_device_t::acquire_send_lock(
@@ -51,6 +89,8 @@ post_result_t sim_device_t::post_recv(void* buffer, std::size_t size,
 post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
                                       std::size_t size, uint32_t imm,
                                       void* user_context) {
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   auto guard = acquire_send_lock(peer_rank);
   if (!guard) return post_result_t::retry_lock;
   // td_strategy_t::none: queue pairs share driver-owned hardware resources
@@ -61,7 +101,7 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= fabric_->config().cq_depth)
+  if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;  // send queue full
   sim_device_t* target = fabric_->route(peer_rank, context_, index_);
   if (target == nullptr) return post_result_t::retry_full;
@@ -84,6 +124,8 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
                                        std::size_t size, mr_id_t remote_mr,
                                        std::size_t remote_offset, bool notify,
                                        uint32_t imm, void* user_context) {
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   auto guard = acquire_send_lock(peer_rank);
   if (!guard) return post_result_t::retry_lock;
   std::unique_lock<util::spinlock_t> uuar;
@@ -91,7 +133,7 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= fabric_->config().cq_depth)
+  if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;
 
   sim_device_t* target = nullptr;
@@ -119,6 +161,8 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
                                       std::size_t size, mr_id_t remote_mr,
                                       std::size_t remote_offset, bool notify,
                                       uint32_t imm, void* user_context) {
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   auto guard = acquire_send_lock(peer_rank);
   if (!guard) return post_result_t::retry_lock;
   std::unique_lock<util::spinlock_t> uuar;
@@ -126,7 +170,7 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= fabric_->config().cq_depth)
+  if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;
 
   sim_device_t* target = nullptr;
@@ -153,12 +197,26 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
 }
 
 bool sim_device_t::wire_push(wire_msg_t msg) {
-  if (wire_.size_approx() >= fabric_->config().wire_depth) return false;
+  if (wire_.size_approx() >= effective_wire_depth()) return false;
+  const fault_config_t& fault = fabric_->config().fault;
+  if (fault.delay_rate > 0.0) {
+    // Delivery delay rides the target device's RNG stream (the decision is
+    // "the wire is slow getting this to the target").
+    std::lock_guard<util::spinlock_t> guard(fault_lock_);
+    if (fault_rng_.uniform() < fault.delay_rate)
+      msg.defer_polls = fault.delay_polls;
+  }
   wire_.push(std::move(msg));
   return true;
 }
 
 bool sim_device_t::deliver_one(wire_msg_t& msg) {
+  if (msg.defer_polls > 0) {
+    // Injected delivery delay: skip this attempt. The message stays at the
+    // head of its FIFO (wire or RNR stash), so per-sender order holds.
+    --msg.defer_polls;
+    return false;
+  }
   if (msg.ready_ns != 0) {
     // Timing model: not yet "on this side of the wire". FIFO per sender, so
     // head-of-line blocking here is the modelled serialization.
@@ -179,7 +237,11 @@ bool sim_device_t::deliver_one(wire_msg_t& msg) {
     srq_count_.fetch_sub(1, std::memory_order_relaxed);
     assert(msg.size <= prepost.size &&
            "eager message larger than the pre-posted buffer");
-    std::memcpy(prepost.buffer, msg.data(), msg.size);
+    // Release-safe clamp: never overrun the pre-posted buffer. The CQE still
+    // reports the full wire length, so the consumer can detect the overrun
+    // (the LCI progress engine completes such receives with an error).
+    std::memcpy(prepost.buffer, msg.data(),
+                std::min<std::size_t>(msg.size, prepost.size));
     cq_.push(cqe_t{op_t::recv, msg.src_rank, msg.imm, msg.size, prepost.buffer,
                    prepost.user_context});
   } else {

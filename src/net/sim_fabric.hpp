@@ -11,6 +11,7 @@
 #include "net/net.hpp"
 #include "util/lcrq.hpp"
 #include "util/mpmc_array.hpp"
+#include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
 namespace lci::net::detail {
@@ -25,7 +26,8 @@ struct wire_msg_t {
   int src_rank = -1;
   uint32_t imm = 0;
   uint32_t size = 0;
-  uint64_t ready_ns = 0;  // timing model: deliverable once now >= ready_ns
+  uint64_t ready_ns = 0;    // timing model: deliverable once now >= ready_ns
+  uint32_t defer_polls = 0; // fault injection: delivery attempts to skip
   std::unique_ptr<char[]> heap;
   char inline_data[inline_capacity] = {};
 
@@ -85,6 +87,9 @@ class sim_device_t final : public device_t {
   std::size_t preposted_recvs() const override {
     return srq_count_.load(std::memory_order_relaxed);
   }
+  uint64_t injected_faults() const override {
+    return injected_faults_.load(std::memory_order_relaxed);
+  }
 
   // Wire-side entry point used by peer devices ("the NIC DMA engine").
   bool wire_push(wire_msg_t msg);
@@ -95,6 +100,14 @@ class sim_device_t final : public device_t {
   // Acquires the send-path lock per the configured model/strategy. Returns a
   // disengaged guard on try-lock miss.
   util::try_lock_wrapper_t::guard_t acquire_send_lock(int peer_rank);
+
+  // Fault injection: draws from the per-device RNG stream; returns ok when
+  // no fault fires, retry_lock/retry_full otherwise.
+  post_result_t maybe_inject_fault();
+  // Effective backpressure depths (fault policy may shrink the configured
+  // ones).
+  std::size_t effective_send_depth() const;
+  std::size_t effective_wire_depth() const;
 
   // Under the polling lock: move deliverable wire messages into the CQ.
   void deliver_from_wire();
@@ -108,6 +121,13 @@ class sim_device_t final : public device_t {
   util::lcrq_t<wire_msg_t> wire_{1024};
   util::lcrq_t<cqe_t> cq_{1024};
   std::deque<wire_msg_t> rnr_stash_;  // guarded by the polling lock
+
+  // Fault-injection state: a deterministic per-device RNG stream (seeded
+  // from the policy seed and this device's coordinates) and the injected
+  // count exposed through injected_faults().
+  util::spinlock_t fault_lock_;
+  util::xoshiro256_t fault_rng_;
+  std::atomic<uint64_t> injected_faults_{0};
 
   util::spinlock_t srq_inner_lock_;
   std::deque<prepost_t> srq_;
