@@ -17,7 +17,8 @@
 
 namespace {
 
-void run_case(double rate, int threads, long iterations) {
+void run_case(bench::json_report_t& report, double rate, int threads,
+              long iterations) {
   bench::pingpong_params_t params;
   params.backend = lcw::backend_t::lci;
   params.nranks = 2;
@@ -29,19 +30,25 @@ void run_case(double rate, int threads, long iterations) {
   params.fabric.fault.seed = 0x5eed5eedull;
   const auto result = bench::run_pingpong(params);
   std::printf("%7d  %10.2f  %9.4f\n", threads, rate, result.mmsg_per_sec);
+  report.row()
+      .field("threads", threads)
+      .field("fault_rate", rate)
+      .field("mmsg_per_sec", result.mmsg_per_sec)
+      .field("seconds", result.seconds);
 }
 
 }  // namespace
 
 int main() {
   const long iterations = bench::iters(2000);
+  bench::json_report_t report("ablation_faults");
   std::printf(
       "# Ablation: LCI message rate vs injected forced-retry rate\n");
   bench::print_header("Fault-injection rate",
                       "threads  fault_rate  Mmsg/s");
   for (const int threads : bench::pow2_up_to(bench::max_threads(), 2)) {
     for (const double rate : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5}) {
-      run_case(rate, threads, iterations);
+      run_case(report, rate, threads, iterations);
     }
   }
   return 0;

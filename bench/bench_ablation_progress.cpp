@@ -1,0 +1,77 @@
+// Ablation: who calls progress() — the paper's central "communication
+// progress" question (Sec. 3.2.6) as a measurable knob.
+//
+// Three modes over the same ping-pong workload (lci backend, AM traffic):
+//
+//   worker     every benchmark thread polls do_progress() in its loop (the
+//              paper's explicit-progress regime; zero extra threads),
+//   dedicated  N background engine threads own the devices; workers never
+//              call do_progress() and only consume completion queues (the
+//              classic MPI-style progress-thread configuration),
+//   hybrid     engine threads AND worker polling (progress() stays legal
+//              while auto-progress is on).
+//
+// Expected shape: worker-polled wins at low thread counts on spare cores
+// (no handoff latency); dedicated catches up as workers get busier and wins
+// when worker cycles are the scarce resource; hybrid tracks the better of
+// the two at the cost of the extra threads. (The engine's idle behaviour —
+// polls/advances/sleeps/wakeups — is asserted in test_progress_engine; here
+// only throughput is measured.)
+#include <cstdio>
+#include <string>
+
+#include "pingpong.hpp"
+
+namespace {
+
+struct progress_mode_t {
+  const char* name;
+  int nprogress_threads;
+  bool workers_progress;
+};
+
+void run_case(bench::json_report_t& report, const progress_mode_t& mode, int threads,
+              long iterations) {
+  bench::pingpong_params_t params;
+  params.backend = lcw::backend_t::lci;
+  params.nranks = 2;
+  params.nthreads = threads;
+  params.use_am = true;
+  params.msg_size = 8;
+  params.iterations = iterations;
+  params.nprogress_threads = mode.nprogress_threads;
+  params.workers_progress = mode.workers_progress;
+  const auto result = bench::run_pingpong(params);
+  std::printf("%-9s  %7d  %9d  %9.4f\n", mode.name, threads,
+              mode.nprogress_threads, result.mmsg_per_sec);
+  report.row()
+      .field("mode", std::string(mode.name))
+      .field("threads", threads)
+      .field("nprogress_threads", mode.nprogress_threads)
+      .field("msg_size", 8)
+      .field("mmsg_per_sec", result.mmsg_per_sec)
+      .field("seconds", result.seconds);
+}
+
+}  // namespace
+
+int main() {
+  const long iterations = bench::iters(2000);
+  const int engine_threads =
+      static_cast<int>(bench::env_long("LCI_BENCH_PROGRESS_THREADS", 1));
+  bench::json_report_t report("ablation_progress");
+  std::printf("# Ablation: worker-polled vs dedicated vs hybrid progress\n");
+  bench::print_header("Progress mode",
+                      "mode       threads  engine_th  Mmsg/s");
+  const progress_mode_t modes[] = {
+      {"worker", 0, true},
+      {"dedicated", engine_threads, false},
+      {"hybrid", engine_threads, true},
+  };
+  for (const int threads : bench::pow2_up_to(bench::max_threads())) {
+    for (const progress_mode_t& mode : modes) {
+      run_case(report, mode, threads, iterations);
+    }
+  }
+  return 0;
+}

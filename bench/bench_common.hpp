@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/net.hpp"
@@ -84,5 +85,75 @@ inline std::vector<int> pow2_up_to(int max, int from = 1) {
 inline void print_header(const char* title, const char* columns) {
   std::printf("\n## %s\n%s\n", title, columns);
 }
+
+// Machine-readable results next to the human-readable tables: every bench
+// writes BENCH_<name>.json ({"bench": ..., "rows": [{...}, ...]}) so sweeps
+// can be scripted/plotted without scraping stdout. LCI_BENCH_JSON=0 disables;
+// LCI_BENCH_JSON_DIR overrides the output directory (default: cwd).
+class json_report_t {
+ public:
+  explicit json_report_t(std::string name) : name_(std::move(name)) {}
+  ~json_report_t() { write(); }
+  json_report_t(const json_report_t&) = delete;
+  json_report_t& operator=(const json_report_t&) = delete;
+
+  // Starts a new result row; field() calls populate the current row.
+  json_report_t& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  json_report_t& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw_field(key, buf);
+  }
+  json_report_t& field(const std::string& key, long value) {
+    return raw_field(key, std::to_string(value));
+  }
+  json_report_t& field(const std::string& key, int value) {
+    return raw_field(key, std::to_string(value));
+  }
+  json_report_t& field(const std::string& key, const std::string& value) {
+    return raw_field(key, "\"" + value + "\"");
+  }
+
+  void write() {
+    if (written_ || env_long("LCI_BENCH_JSON", 1) == 0) return;
+    written_ = true;
+    const char* dir = std::getenv("LCI_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_report: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      const auto& row = rows_[i];
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     row[j].first.c_str(), row[j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("json: %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  json_report_t& raw_field(const std::string& key, std::string rendered) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  bool written_ = false;
+};
 
 }  // namespace bench

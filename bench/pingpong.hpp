@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "core/lci.hpp"
 #include "lcw/lcw.hpp"
+#include "util/backoff.hpp"
 
 namespace bench {
 
@@ -31,6 +32,11 @@ struct pingpong_params_t {
   bool use_am = true;        // active messages vs tagged send-receive
   std::size_t msg_size = 8;
   long iterations = 1000;    // messages sent per thread
+  // Progress modes (lci backend): worker-polled (0/true, the default),
+  // dedicated engine threads (N/false — workers never call do_progress),
+  // hybrid (N/true — engine threads plus worker polling).
+  int nprogress_threads = 0;
+  bool workers_progress = true;
   lci::net::config_t fabric{};
 };
 
@@ -64,6 +70,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
             p.use_am ? std::max<std::size_t>(p.msg_size, 64) : 4096;
         config.eager_size = p.eager_size;
         config.enable_am = p.use_am;
+        config.nprogress_threads = p.nprogress_threads;
         auto ctx = lcw::alloc_context(p.backend, config);
         const int peer = (rank + R / 2) % R;
         auto binding = lci::sim::current_binding();
@@ -81,11 +88,17 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         std::atomic<long> outstanding{0};
         constexpr int recv_window = 4;
 
+        // Workers poll do_progress unless dedicated engine threads own the
+        // wire; mixed (hybrid) mode keeps both legal.
+        const bool workers_progress = p.workers_progress ||
+                                      p.nprogress_threads == 0;
+
         auto worker = [&](int t) {
           lci::sim::scoped_binding_t bound(binding);
           lcw::device_t* dev = ctx->device(p.dedicated ? t : 0);
           const int tag = p.dedicated ? t : 0;
           const int gid = rank * T + t;
+          lci::util::backoff_t retry_backoff;
 
           std::vector<char> out(p.msg_size, static_cast<char>(rank + 1));
           // Receive budget: exactly as many receives as messages will
@@ -106,9 +119,14 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
             for (int w = 0; w < recv_window; ++w) {
               bufs.push_back(std::make_unique<char[]>(p.msg_size));
               if (take_recv_budget()) {
+                retry_backoff.reset();
                 while (dev->post_recv(peer, bufs.back().get(), p.msg_size,
-                                      tag) == lcw::post_t::retry)
-                  dev->do_progress();
+                                      tag) == lcw::post_t::retry) {
+                  if (workers_progress)
+                    dev->do_progress();
+                  else
+                    retry_backoff.spin();  // engine threads clear the jam
+                }
               }
             }
           }
@@ -147,7 +165,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
               ++sent;
               did_something = true;
             }
-            did_something |= dev->do_progress();
+            if (workers_progress) did_something |= dev->do_progress();
             lcw::request_t req;
             while (dev->poll_recv(&req)) {
               did_something = true;
@@ -156,9 +174,14 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
               if (p.use_am) {
                 std::free(req.buffer);
               } else if (take_recv_budget()) {
+                retry_backoff.reset();
                 while (dev->post_recv(peer, req.buffer, p.msg_size, tag) ==
-                       lcw::post_t::retry)
-                  dev->do_progress();
+                       lcw::post_t::retry) {
+                  if (workers_progress)
+                    dev->do_progress();
+                  else
+                    retry_backoff.spin();
+                }
               }
             }
             while (dev->poll_send(&req)) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite twice: once in the default build and once with
+# ThreadSanitizer (LCI_SANITIZE=thread). CI gate: both passes must be green.
+#
+# Usage: scripts/run_tier1.sh [build-dir] [tsan-build-dir]
+#   build-dir       default: build
+#   tsan-build-dir  default: build-tsan
+#
+# Environment:
+#   CTEST_PARALLEL  parallel ctest jobs (default: 8)
+#   CMAKE_ARGS      extra arguments forwarded to both cmake configures
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+tsan_dir="${2:-${repo_root}/build-tsan}"
+jobs="${CTEST_PARALLEL:-8}"
+
+configure_and_test() {
+  local dir="$1"
+  shift
+  local label="$1"
+  shift
+  echo "== ${label}: configure + build (${dir})"
+  # shellcheck disable=SC2086
+  cmake -S "${repo_root}" -B "${dir}" ${CMAKE_ARGS:-} "$@"
+  cmake --build "${dir}" -j
+  echo "== ${label}: ctest -L tier1 -j ${jobs}"
+  ctest --test-dir "${dir}" -L tier1 -j "${jobs}" --output-on-failure
+}
+
+configure_and_test "${build_dir}" "default"
+configure_and_test "${tsan_dir}" "thread-sanitizer" -DLCI_SANITIZE=thread
+
+echo "== tier-1: both passes green"

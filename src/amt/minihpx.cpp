@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/lci.hpp"
+#include "util/backoff.hpp"
 
 namespace minihpx {
 
@@ -67,6 +68,7 @@ task_t* scheduler_t::obtain_task(int worker) {
 void scheduler_t::worker_loop(int worker, const std::function<bool()>* done) {
   const int previous_worker = tls_worker;
   tls_worker = worker;
+  lci::util::backoff_t backoff;
   while (true) {
     if (stopping_.load(std::memory_order_acquire)) break;
     if (done != nullptr && (*done)()) break;
@@ -74,11 +76,18 @@ void scheduler_t::worker_loop(int worker, const std::function<bool()>* done) {
       (*task)();
       delete task;
       executed_.fetch_add(1, std::memory_order_relaxed);
+      backoff.reset();
       continue;
     }
     bool progressed = false;
     if (idle_fn_) progressed = idle_fn_(worker);
-    if (!progressed) std::this_thread::yield();
+    if (progressed) {
+      backoff.reset();
+    } else {
+      // Escalating idle policy instead of an unconditional yield: short idle
+      // gaps stay on-core (steal/parcel latency), sustained idleness yields.
+      backoff.spin();
+    }
   }
   tls_worker = previous_worker;
 }
@@ -137,6 +146,7 @@ parcelport_t::parcelport_t(const parcelport_config_t& config,
   lcw_config.ndevices =
       config.backend == lcw::backend_t::mpi ? 1 : config.ndevices;
   lcw_config.max_am_size = config.max_parcel_size + sizeof(parcel_header_t);
+  lcw_config.nprogress_threads = config.nprogress_threads;
   impl_->ctx = lcw::alloc_context(config.backend, lcw_config);
   impl_->scheduler = scheduler;
 }
@@ -190,7 +200,10 @@ bool parcelport_t::progress(int worker) {
 
 bool parcelport_t::progress_device(int index) {
   lcw::device_t* dev = impl_->ctx->device(index);
-  bool advanced = dev->do_progress();
+  // Auto-progress: the backend's engine threads drive the wire; workers only
+  // consume completions (draining the queues is not progress — skipping it
+  // would strand arrived parcels).
+  bool advanced = impl_->ctx->auto_progress() ? false : dev->do_progress();
   lcw::request_t req;
   while (dev->poll_recv(&req)) {
     advanced = true;

@@ -83,6 +83,11 @@ struct parcelport_config_t {
   lcw::backend_t backend = lcw::backend_t::lci;
   int ndevices = 1;  // LCI devices / MPICH VCIs (Fig. 7's tuning knob)
   std::size_t max_parcel_size = 8192;
+  // Background progress threads (lci backend only): > 0 offloads network
+  // progress from the scheduler's idle hook — workers then only poll the
+  // completion queues for arrived parcels, the "dedicated progress thread"
+  // configuration of the HPX+LCI study.
+  int nprogress_threads = 0;
 };
 
 class parcelport_t {

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/runtime_impl.hpp"
+#include "util/backoff.hpp"
 
 namespace lci {
 
@@ -43,11 +44,27 @@ coll_ctx_t make_ctx(runtime_t runtime, device_t device) {
   return coll_ctx_t{rt, dev, rt->next_collective_seq()};
 }
 
+// Blocking wait used by every collective: progress the device until the sync
+// fires, yielding to the scheduler on idle rounds so oversubscribed ranks
+// (and auto-progressed devices, where our own progress() rarely wins work)
+// do not busy-burn a core.
+void coll_wait(const coll_ctx_t& ctx, comp_t sync) {
+  util::backoff_t backoff;
+  while (!sync_test(sync, nullptr)) {
+    if (ctx.dev->progress()) {
+      backoff.reset();
+    } else {
+      backoff.spin();
+    }
+  }
+}
+
 // Blocking send: retries through progress, waits for rendezvous completion.
 void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
                std::size_t size, tag_t tag) {
   comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
   matching_engine_t engine{&ctx.rt->coll_engine()};
+  util::backoff_t backoff;
   while (true) {
     const status_t status =
         post_send_x(peer, const_cast<void*>(buf), size, tag, sync)
@@ -56,7 +73,7 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
             .matching_engine(engine)();
     if (status.error.is_done()) break;
     if (status.error.is_posted()) {
-      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+      coll_wait(ctx, sync);
       break;
     }
     if (status.error.is_fatal()) {
@@ -65,7 +82,13 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
       free_comp(&sync);
       throw fatal_error_t("collective send failed fatally");
     }
-    ctx.dev->progress();
+    // Retry: progress and back off when nothing moved (e.g. a peer's packet
+    // pool is dry and only remote progress can refill it).
+    if (ctx.dev->progress()) {
+      backoff.reset();
+    } else {
+      backoff.spin();
+    }
   }
   free_comp(&sync);
 }
@@ -80,7 +103,7 @@ void coll_recv(const coll_ctx_t& ctx, int peer, void* buf, std::size_t size,
                               .device(device_t{ctx.dev})
                               .matching_engine(engine)();
   if (status.error.is_posted()) {
-    while (!sync_test(sync, nullptr)) ctx.dev->progress();
+    coll_wait(ctx, sync);
   }
   free_comp(&sync);
 }
@@ -108,7 +131,7 @@ void barrier(runtime_t runtime, device_t device) {
             .matching_engine(engine)();
     coll_send(ctx, to, &token, sizeof(token), tag);
     if (rstatus.error.is_posted()) {
-      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+      coll_wait(ctx, sync);
     }
     free_comp(&sync);
   }
@@ -214,7 +237,7 @@ void allgather(const void* sendbuf, void* recvbuf, std::size_t size,
     coll_send(ctx, right, out + static_cast<std::size_t>(send_origin) * size,
               size, tag);
     if (rstatus.error.is_posted()) {
-      while (!sync_test(sync, nullptr)) ctx.dev->progress();
+      coll_wait(ctx, sync);
     }
     free_comp(&sync);
   }

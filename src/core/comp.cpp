@@ -97,7 +97,7 @@ namespace lci {
 device_t alloc_device_x::operator()() const {
   auto* rt = detail::resolve_runtime(runtime_);
   device_t device;
-  device.p = new detail::device_impl_t(rt, prepost_depth_);
+  device.p = new detail::device_impl_t(rt, prepost_depth_, auto_progress_);
   return device;
 }
 
@@ -147,6 +147,8 @@ device_attr_t get_attr(device_t device) {
   attr.net_index = device.p->net().index();
   attr.backlog_size = device.p->backlog().size_approx();
   attr.injected_faults = device.p->net().injected_faults();
+  attr.auto_progress = device.p->auto_progress();
+  attr.doorbell_rings = device.p->doorbell().rings();
   return attr;
 }
 

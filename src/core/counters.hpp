@@ -34,6 +34,15 @@ struct counters_t {
   uint64_t backlog_peak_depth = 0;  // high-water mark of any backlog queue
   uint64_t comp_fatal = 0;       // completions delivered with a fatal error
   uint64_t progress_calls = 0;
+  // Auto-progress engine (core/progress_engine.hpp): service rounds made by
+  // background progress threads, rounds that advanced anything, times an
+  // engine thread committed to a doorbell sleep, and times a sleeping (or
+  // sleep-committing) thread was woken by a doorbell ring. The idle ratio of
+  // the engine is 1 - progress_thread_advances / progress_thread_polls.
+  uint64_t progress_thread_polls = 0;
+  uint64_t progress_thread_advances = 0;
+  uint64_t progress_sleeps = 0;
+  uint64_t progress_wakeups = 0;
   // Retries forced by the simulated fabric's fault-injection policy. Summed
   // over the runtime's live devices at snapshot time (not a runtime counter
   // cell, so reset_counters does not clear it).
@@ -60,6 +69,10 @@ enum class counter_id_t : int {
   backlog_peak_depth,
   comp_fatal,
   progress_calls,
+  progress_thread_polls,
+  progress_thread_advances,
+  progress_sleeps,
+  progress_wakeups,
   count_  // sentinel
 };
 
@@ -99,6 +112,11 @@ class counter_block_t {
     out.backlog_peak_depth = load(counter_id_t::backlog_peak_depth);
     out.comp_fatal = load(counter_id_t::comp_fatal);
     out.progress_calls = load(counter_id_t::progress_calls);
+    out.progress_thread_polls = load(counter_id_t::progress_thread_polls);
+    out.progress_thread_advances =
+        load(counter_id_t::progress_thread_advances);
+    out.progress_sleeps = load(counter_id_t::progress_sleeps);
+    out.progress_wakeups = load(counter_id_t::progress_wakeups);
     return out;
   }
 

@@ -6,21 +6,31 @@
 namespace lci::detail {
 
 device_impl_t::device_impl_t(runtime_impl_t* runtime,
-                             std::size_t prepost_depth)
+                             std::size_t prepost_depth, bool auto_progress)
     : runtime_(runtime),
       prepost_depth_(prepost_depth ? prepost_depth
                                    : runtime->attr().prepost_depth),
+      auto_progress_(auto_progress),
       net_device_(runtime->net_context().create_device()) {
   backlog_.bind_counters(&runtime_->counters());
+  // Always register the doorbell: rings are counted (observable via
+  // get_attr) even when no engine thread ever attaches to this device.
+  net_device_->set_doorbell(&doorbell_);
   runtime_->register_device(this);
   // Fill the receive queue up front so early senders find buffers; further
   // replenishment is the progress engine's job.
   replenish_preposts();
-  LCI_LOG_(debug, "rank %d: device %d up (prepost_depth=%zu)",
-           runtime_->rank(), net_device_->index(), prepost_depth_);
+  if (auto_progress_) runtime_->attach_progress_device(this);
+  LCI_LOG_(debug, "rank %d: device %d up (prepost_depth=%zu auto=%d)",
+           runtime_->rank(), net_device_->index(), prepost_depth_,
+           static_cast<int>(auto_progress_));
 }
 
 device_impl_t::~device_impl_t() {
+  // Leave the engine first (pause-the-world inside): after this no engine
+  // thread can hold a pointer to this device or its doorbell.
+  if (auto_progress_) runtime_->detach_progress_device(this);
+  net_device_->set_doorbell(nullptr);
   // Packets still sitting in the pre-posted receive queue are reclaimed when
   // the pool frees its slabs; quiesce traffic before freeing a device.
   runtime_->unregister_device(this);

@@ -213,6 +213,22 @@ struct runtime_attr_t {
   // protocol. The handler/queue consumer must return each payload with
   // release_am_packet instead of std::free.
   bool am_deliver_packets = false;
+  // Auto-progress engine (see docs/INTERNALS.md "The auto-progress engine"):
+  // background threads the runtime owns that call progress() on the devices
+  // marked auto-progressed. 0 = caller-driven progress only. The engine
+  // starts lazily when the first auto-progressed device is allocated, with
+  // max(1, nprogress_threads) threads; devices spread round-robin over them.
+  std::size_t nprogress_threads = 0;
+  // Service the runtime's default device with the engine.
+  bool auto_progress_default = false;
+  // Engine idle policy: consecutive empty service rounds before exponential
+  // backoff begins, backoff rounds before a doorbell sleep, and the bound on
+  // each sleep (the doorbell is a wakeup hint, not a guarantee — a bounded
+  // sleep keeps the engine live when a ring is missed, e.g. a packet pool
+  // refill that no doorbell covers).
+  std::size_t progress_spin_polls = 256;
+  std::size_t progress_backoff_polls = 64;
+  std::size_t progress_sleep_us = 500;
 };
 
 // ---------------------------------------------------------------------------
@@ -228,6 +244,44 @@ runtime_t get_g_runtime();
 // Additional runtime objects (library composition).
 runtime_t alloc_runtime(const runtime_attr_t& attr = {});
 void free_runtime(runtime_t* runtime);
+
+// OFF variant: alloc_runtime_x().nprogress_threads(2).auto_progress(true)()
+// allocates a runtime whose default device is serviced by two background
+// progress threads.
+class alloc_runtime_x {
+ public:
+  alloc_runtime_x() = default;
+  alloc_runtime_x& attr(const runtime_attr_t& v) { attr_ = v; return *this; }
+  alloc_runtime_x& nprogress_threads(std::size_t v) {
+    attr_.nprogress_threads = v;
+    return *this;
+  }
+  // Auto-progress the runtime's default device.
+  alloc_runtime_x& auto_progress(bool v) {
+    attr_.auto_progress_default = v;
+    return *this;
+  }
+  alloc_runtime_x& progress_spin_polls(std::size_t v) {
+    attr_.progress_spin_polls = v;
+    return *this;
+  }
+  alloc_runtime_x& progress_sleep_us(std::size_t v) {
+    attr_.progress_sleep_us = v;
+    return *this;
+  }
+  runtime_t operator()() const { return alloc_runtime(attr_); }
+
+ private:
+  runtime_attr_t attr_{};
+};
+
+// Quiescence control for the auto-progress engine (no-ops when the runtime
+// has none). progress_pause blocks until every engine thread is parked
+// outside progress() — after it returns, no engine thread touches any device
+// until progress_resume. Explicit progress() stays legal while paused (and is
+// how in-flight traffic can still drain during a pause).
+void progress_pause(runtime_t runtime = {});
+void progress_resume(runtime_t runtime = {});
 
 int get_rank_me(runtime_t runtime = {});
 int get_rank_n(runtime_t runtime = {});
@@ -279,11 +333,16 @@ class alloc_device_x {
   alloc_device_x& runtime(runtime_t v) { runtime_ = v; return *this; }
   // Pre-posted receive depth override (0 = runtime default).
   alloc_device_x& prepost_depth(std::size_t v) { prepost_depth_ = v; return *this; }
+  // Hand this device to the runtime's auto-progress engine (started lazily
+  // with max(1, runtime_attr_t::nprogress_threads) threads). Explicit
+  // progress() on the device remains legal alongside.
+  alloc_device_x& auto_progress(bool v) { auto_progress_ = v; return *this; }
   device_t operator()() const;
 
  private:
   runtime_t runtime_{};
   std::size_t prepost_depth_ = 0;
+  bool auto_progress_ = false;
 };
 
 class alloc_cq_x {
@@ -361,6 +420,8 @@ struct device_attr_t {
   int net_index = -1;           // routing index within the rank's context
   std::size_t backlog_size = 0; // queued backlog operations (approximate)
   uint64_t injected_faults = 0; // forced retries on this device's net queue
+  bool auto_progress = false;   // serviced by the runtime's progress engine
+  uint64_t doorbell_rings = 0;  // wakeup-hint rings observed on this device
 };
 struct matching_engine_attr_t {
   std::size_t num_buckets = 0;

@@ -372,6 +372,13 @@ status_t post_comm_impl(const post_args_t& args) {
     auto capture = std::make_shared<backlog_capture_t>();
     capture->args = args;
     capture->args.allow_retry = true;
+    // Pin the resolved handles: the backlog may be retired by a progress
+    // engine thread with no sim binding, where default-runtime resolution
+    // (get_g_runtime) would fail.
+    capture->args.runtime.p = r.runtime;
+    capture->args.device.p = r.device;
+    capture->args.matching_engine.p = r.engine;
+    capture->args.packet_pool.p = r.pool;
     // Guarantee the promised signal: a backlogged op must complete through
     // its completion object, never through a lost `done` return value.
     capture->args.allow_done = false;
@@ -408,6 +415,9 @@ status_t post_comm_impl(const post_args_t& args) {
         return failed;
       }
     });
+    // Wake a sleeping progress thread: the backlog retry is the only way
+    // this operation ever completes.
+    r.device->ring_doorbell();
     status.error.code = args.local_comp.p != nullptr
                             ? errorcode_t::posted_backlog
                             : errorcode_t::done_backlog;

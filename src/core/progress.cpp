@@ -95,6 +95,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
       device->backlog().push([device, peer_rank, rdv_id]() {
         return send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
       });
+      device->ring_doorbell();
     }
     return;
   }
@@ -119,6 +120,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     device->backlog().push([device, peer_rank, rdv_id, pending_id, mr]() {
       return send_rtr(device, peer_rank, rdv_id, pending_id, mr);
     });
+    device->ring_doorbell();
   }
 }
 
@@ -315,6 +317,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
                  runtime_->rank(), cqe.peer_rank);
         runtime_->counters().add(counter_id_t::backlog_pushed);
         backlog_.push(attempt);
+        ring_doorbell();
       }
       packet->pool->put(packet);
       return;

@@ -1,5 +1,6 @@
 // Runtime object: wraps default configuration and communication resources
 // (paper Sec. 3.2.2 / 4.1).
+#include <algorithm>
 #include <mutex>
 
 #include "core/runtime_impl.hpp"
@@ -28,7 +29,8 @@ runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
   coll_engine_ = std::make_unique<matching_engine_impl_t>(1024);
   register_engine(default_engine_.get());  // id 0
   register_engine(coll_engine_.get());     // id 1
-  default_device_ = std::make_unique<device_impl_t>(this, attr_.prepost_depth);
+  default_device_ = std::make_unique<device_impl_t>(this, attr_.prepost_depth,
+                                                    attr_.auto_progress_default);
   LCI_LOG_(info,
            "runtime up: rank %d/%d packet_size=%zu npackets=%zu "
            "buckets=%zu",
@@ -37,6 +39,11 @@ runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
 }
 
 runtime_impl_t::~runtime_impl_t() {
+  // Teardown order matters: the default device detaches from the engine
+  // (pause-the-world) while the engine is still alive, then the engine stops
+  // and joins its threads. Only then can the rest of the runtime go away.
+  default_device_.reset();
+  progress_engine_.reset();
   if (util::log_enabled(util::log_level_t::info)) {
     const counters_t c = counters_.snapshot();
     LCI_LOG_(info,
@@ -95,6 +102,23 @@ matching_engine_impl_t* runtime_impl_t::lookup_engine(uint16_t id) const {
   return engine_registry_.get(id);
 }
 
+void runtime_impl_t::attach_progress_device(device_impl_t* device) {
+  {
+    std::lock_guard<util::spinlock_t> guard(engine_create_lock_);
+    if (progress_engine_ == nullptr) {
+      const std::size_t n = std::max<std::size_t>(1, attr_.nprogress_threads);
+      progress_engine_ = std::make_unique<progress_engine_t>(this, n);
+    }
+  }
+  progress_engine_->attach_device(device);
+}
+
+void runtime_impl_t::detach_progress_device(device_impl_t* device) {
+  // No lock: the engine pointer only transitions null -> engine while the
+  // runtime is alive, and a device can only detach after attaching.
+  if (progress_engine_ != nullptr) progress_engine_->detach_device(device);
+}
+
 uint64_t runtime_impl_t::injected_faults() const {
   std::lock_guard<util::spinlock_t> guard(device_lock_);
   uint64_t total = 0;
@@ -137,6 +161,16 @@ void reset_counters(runtime_t runtime) {
 
 net::fault_config_t get_fault_config(runtime_t runtime) {
   return detail::resolve_runtime(runtime)->net_config().fault;
+}
+
+void progress_pause(runtime_t runtime) {
+  auto* rt = detail::resolve_runtime(runtime);
+  if (auto* engine = rt->progress_engine()) engine->pause();
+}
+
+void progress_resume(runtime_t runtime) {
+  auto* rt = detail::resolve_runtime(runtime);
+  if (auto* engine = rt->progress_engine()) engine->resume();
 }
 
 matching_engine_t alloc_matching_engine(runtime_t runtime,

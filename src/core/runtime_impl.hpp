@@ -15,6 +15,7 @@
 #include "core/lci.hpp"
 #include "core/matching.hpp"
 #include "core/packet.hpp"
+#include "core/progress_engine.hpp"
 #include "core/protocol.hpp"
 #include "net/net.hpp"
 #include "util/mpmc_array.hpp"
@@ -180,7 +181,8 @@ struct op_ctx_t {
 // ---------------------------------------------------------------------------
 class device_impl_t {
  public:
-  device_impl_t(runtime_impl_t* runtime, std::size_t prepost_depth);
+  device_impl_t(runtime_impl_t* runtime, std::size_t prepost_depth,
+                bool auto_progress = false);
   ~device_impl_t();
   device_impl_t(const device_impl_t&) = delete;
   device_impl_t& operator=(const device_impl_t&) = delete;
@@ -189,6 +191,13 @@ class device_impl_t {
   net::device_t& net() noexcept { return *net_device_; }
   backlog_queue_t& backlog() noexcept { return backlog_; }
   std::size_t prepost_depth() const noexcept { return prepost_depth_; }
+  bool auto_progress() const noexcept { return auto_progress_; }
+
+  // The per-device wakeup hint (see progress_engine.hpp). Registered with
+  // the net device at construction; the core's backlog-push sites ring it
+  // directly so a sleeping engine thread retries queued work promptly.
+  doorbell_impl_t& doorbell() noexcept { return doorbell_; }
+  void ring_doorbell() noexcept { doorbell_.ring(); }
 
   bool progress();  // defined in progress.cpp
 
@@ -199,6 +208,8 @@ class device_impl_t {
 
   runtime_impl_t* const runtime_;
   const std::size_t prepost_depth_;
+  const bool auto_progress_;
+  doorbell_impl_t doorbell_;
   std::unique_ptr<net::device_t> net_device_;
   backlog_queue_t backlog_;
 };
@@ -275,6 +286,15 @@ class runtime_impl_t {
   }
   uint64_t injected_faults() const;  // defined in runtime.cpp
 
+  // Auto-progress engine (lazy: created on the first attach so runtimes that
+  // never opt in pay nothing — no threads, no doorbell wiring). Defined in
+  // runtime.cpp.
+  void attach_progress_device(device_impl_t* device);
+  void detach_progress_device(device_impl_t* device);
+  progress_engine_t* progress_engine() noexcept {
+    return progress_engine_.get();
+  }
+
  private:
   const runtime_attr_t attr_;
   std::shared_ptr<net::fabric_t> fabric_;
@@ -292,6 +312,13 @@ class runtime_impl_t {
   std::unique_ptr<matching_engine_impl_t> default_engine_;
   std::unique_ptr<matching_engine_impl_t> coll_engine_;
   std::unique_ptr<device_impl_t> default_device_;
+
+  // Declared after default_device_ so it is destroyed first: engine threads
+  // must stop before any device they service is torn down (the dtor also
+  // stops it explicitly — device_impl_t dtors detach themselves, which needs
+  // a live engine or none at all, never a half-destroyed one).
+  util::spinlock_t engine_create_lock_;
+  std::unique_ptr<progress_engine_t> progress_engine_;
 
   util::mpmc_array_t<comp_impl_t*> rcomp_registry_{64};
   util::spinlock_t rcomp_lock_;

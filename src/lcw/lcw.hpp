@@ -72,6 +72,11 @@ class context_t {
   virtual int ndevices() const = 0;
   virtual device_t* device(int index) = 0;
   virtual bool supports_send_recv() const = 0;
+  // True when the backend's devices are progressed by background threads
+  // (config_t::nprogress_threads > 0 on a backend that supports it): callers
+  // may skip do_progress() entirely; poll_send/poll_recv alone complete
+  // traffic. do_progress() stays legal (mixed mode).
+  virtual bool auto_progress() const { return false; }
 };
 
 struct config_t {
@@ -86,6 +91,12 @@ struct config_t {
   // pure send-receive workloads — a wildcard AM pre-post would otherwise
   // steal tagged messages (MPI's ordered wildcard matching).
   bool enable_am = true;
+  // lci backend: number of background progress threads servicing this
+  // context's devices. 0 (default) keeps progress explicit via do_progress();
+  // > 0 turns on the runtime's auto-progress engine (context_t::auto_progress
+  // reports true) and workers only need the poll_* calls. Other backends
+  // ignore this.
+  int nprogress_threads = 0;
 };
 
 // Collective call: every rank must allocate its context before any traffic

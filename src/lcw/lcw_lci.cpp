@@ -12,9 +12,11 @@ namespace {
 
 class lci_device_t final : public device_t {
  public:
-  lci_device_t(lci::runtime_t runtime, int index)
+  lci_device_t(lci::runtime_t runtime, int index, bool auto_progress)
       : runtime_(runtime), index_(index) {
-    device_ = lci::alloc_device(runtime_);
+    device_ = lci::alloc_device_x()
+                  .runtime(runtime_)
+                  .auto_progress(auto_progress)();
     scq_ = lci::alloc_cq(runtime_);
     rcq_ = lci::alloc_cq(runtime_);
     rcomp_ = lci::register_rcomp(rcq_, runtime_);
@@ -108,10 +110,16 @@ class lci_context_t final : public context_t {
     // ranks in one process a smaller table keeps memory reasonable while
     // preserving the low-load-factor fast path.
     attr.matching_engine_buckets = 8192;
+    auto_progress_ = config.nprogress_threads > 0;
+    if (auto_progress_) {
+      attr.nprogress_threads =
+          static_cast<std::size_t>(config.nprogress_threads);
+    }
     runtime_ = lci::alloc_runtime(attr);
     devices_.reserve(static_cast<std::size_t>(config.ndevices));
     for (int i = 0; i < config.ndevices; ++i)
-      devices_.push_back(std::make_unique<lci_device_t>(runtime_, i));
+      devices_.push_back(
+          std::make_unique<lci_device_t>(runtime_, i, auto_progress_));
   }
 
   ~lci_context_t() override {
@@ -127,10 +135,12 @@ class lci_context_t final : public context_t {
     return devices_[static_cast<std::size_t>(index)].get();
   }
   bool supports_send_recv() const override { return true; }
+  bool auto_progress() const override { return auto_progress_; }
 
  private:
   lci::runtime_t runtime_{};
   std::vector<std::unique_ptr<lci_device_t>> devices_;
+  bool auto_progress_ = false;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/sim_fabric.hpp"
+#include "util/backoff.hpp"
 
 namespace lci::net {
 
@@ -54,6 +55,14 @@ void sim_fabric_t::unregister_device(int rank, int context, int index) {
   context_devices_t* slot =
       state.contexts.get(static_cast<std::size_t>(context));
   slot->devices.put(static_cast<std::size_t>(index), nullptr);
+  // Drain peers still pinned inside route() -> wire_push() -> doorbell ring:
+  // they routed before the slot was cleared and may hold a pointer to this
+  // device. After the count hits zero no such pointer survives. Pins span a
+  // single post call, so this wait is short and cannot deadlock (a pinned
+  // thread never unregisters or blocks on teardown).
+  util::backoff_t backoff;
+  while (state.route_pins.load(std::memory_order_acquire) != 0)
+    backoff.spin();
 }
 
 sim_device_t* sim_fabric_t::route(int rank, int context,

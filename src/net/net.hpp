@@ -109,6 +109,19 @@ struct config_t {
 // (the latter is an extension the paper's interconnects lacked).
 enum class op_t : uint8_t { send, recv, write, read, remote_write, remote_read };
 
+// Wakeup doorbell: the owner of a device may register one; the backend rings
+// it whenever new work lands on the device that a future poll_cq would
+// observe (a wire arrival pushed by a peer, or a local completion that needs
+// dispatching). ring() must be cheap, non-blocking for the common case, and
+// safe from any thread — it is called from *senders'* critical paths. It is a
+// hint, not a guarantee of exactly-once: spurious rings are fine, and owners
+// that sleep on it must bound the sleep (see core/progress_engine.hpp).
+class doorbell_t {
+ public:
+  virtual ~doorbell_t() = default;
+  virtual void ring() noexcept = 0;
+};
+
 enum class post_result_t : uint8_t {
   ok,
   retry_lock,  // try-lock wrapper missed (Sec. 4.2.2)
@@ -158,6 +171,11 @@ class device_t {
   // Retries forced by the fault-injection policy on this device (0 when
   // injection is off or the backend does not support it).
   virtual uint64_t injected_faults() const { return 0; }
+
+  // Registers (nullptr: clears) the wakeup doorbell. The doorbell must
+  // outlive the device or be cleared before it dies; backends without wakeup
+  // support may ignore it (owners fall back to bounded sleeps).
+  virtual void set_doorbell(doorbell_t* doorbell) { (void)doorbell; }
 };
 
 class context_t {

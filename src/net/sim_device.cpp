@@ -103,6 +103,9 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
   }
   if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;  // send queue full
+  // Pinned until return: wire_push rings the target's doorbell after the
+  // push, and the pin keeps the routed device (and doorbell) alive for it.
+  auto pin = fabric_->pin_route(peer_rank);
   sim_device_t* target = fabric_->route(peer_rank, context_, index_);
   if (target == nullptr) return post_result_t::retry_full;
 
@@ -136,6 +139,9 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
   if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;
 
+  // Pinned until return: keeps the routed device (and its doorbell, rung by
+  // wire_push after the push) alive across the notify delivery.
+  auto pin = fabric_->pin_route(peer_rank);
   sim_device_t* target = nullptr;
   if (notify) {
     target = fabric_->route(peer_rank, context_, index_);
@@ -154,6 +160,10 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
     if (!target->wire_push(std::move(msg))) return post_result_t::retry_full;
   }
   cq_.push(cqe_t{op_t::write, peer_rank, imm, size, nullptr, user_context});
+  // The write CQE carries a completion the owner must dispatch; a sleeping
+  // progress engine on this very device would otherwise only notice it at
+  // the bounded-sleep timeout.
+  ring_doorbell();
   return post_result_t::ok;
 }
 
@@ -173,6 +183,9 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
   if (cq_.size_approx() >= effective_send_depth())
     return post_result_t::retry_full;
 
+  // Pinned until return: keeps the routed device (and its doorbell, rung by
+  // wire_push after the push) alive across the notify delivery.
+  auto pin = fabric_->pin_route(peer_rank);
   sim_device_t* target = nullptr;
   if (notify) {
     target = fabric_->route(peer_rank, context_, index_);
@@ -193,6 +206,7 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
     if (!target->wire_push(std::move(msg))) return post_result_t::retry_full;
   }
   cq_.push(cqe_t{op_t::read, peer_rank, imm, size, nullptr, user_context});
+  ring_doorbell();
   return post_result_t::ok;
 }
 
@@ -207,6 +221,10 @@ bool sim_device_t::wire_push(wire_msg_t msg) {
       msg.defer_polls = fault.delay_polls;
   }
   wire_.push(std::move(msg));
+  // Ring *after* the push so the woken owner's next poll observes the
+  // message. Runs on the sender's thread — ring() is an atomic load plus, at
+  // worst, a condvar notify when the target's engine is asleep.
+  ring_doorbell();
   return true;
 }
 

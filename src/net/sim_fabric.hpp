@@ -90,6 +90,9 @@ class sim_device_t final : public device_t {
   uint64_t injected_faults() const override {
     return injected_faults_.load(std::memory_order_relaxed);
   }
+  void set_doorbell(doorbell_t* doorbell) override {
+    doorbell_.store(doorbell, std::memory_order_release);
+  }
 
   // Wire-side entry point used by peer devices ("the NIC DMA engine").
   bool wire_push(wire_msg_t msg);
@@ -113,6 +116,13 @@ class sim_device_t final : public device_t {
   void deliver_from_wire();
   bool deliver_one(wire_msg_t& msg);  // false: RNR (no pre-posted recv)
 
+  // Rings the registered doorbell (if any): new work is observable on this
+  // device. Called by peers from wire_push and locally after pushing
+  // dispatch-worthy completions.
+  void ring_doorbell() noexcept {
+    if (doorbell_t* d = doorbell_.load(std::memory_order_acquire)) d->ring();
+  }
+
   sim_fabric_t* const fabric_;
   const int rank_;
   const int context_;
@@ -121,6 +131,7 @@ class sim_device_t final : public device_t {
   util::lcrq_t<wire_msg_t> wire_{1024};
   util::lcrq_t<cqe_t> cq_{1024};
   std::deque<wire_msg_t> rnr_stash_;  // guarded by the polling lock
+  std::atomic<doorbell_t*> doorbell_{nullptr};
 
   // Fault-injection state: a deterministic per-device RNG stream (seeded
   // from the policy seed and this device's coordinates) and the injected
@@ -176,6 +187,28 @@ class sim_fabric_t final : public fabric_t,
   // Device registry, scoped by context index (connection namespace).
   int register_device(int rank, int context, sim_device_t* device);
   void unregister_device(int rank, int context, int index);
+  // RAII pin on a target rank's device registry: while held, a pointer
+  // returned by route() (and the doorbell it rings) stays valid —
+  // unregister_device drains all pins before the device memory can go away.
+  // Take it before route() and hold it across wire_push(), which rings the
+  // target's doorbell *after* the push: without the pin the receiver can
+  // consume the message, complete and tear down between the push and the
+  // ring.
+  class route_pin_t {
+   public:
+    explicit route_pin_t(std::atomic<int>& count) : count_(&count) {
+      count_->fetch_add(1, std::memory_order_acquire);
+    }
+    route_pin_t(const route_pin_t&) = delete;
+    route_pin_t& operator=(const route_pin_t&) = delete;
+    ~route_pin_t() { count_->fetch_sub(1, std::memory_order_release); }
+
+   private:
+    std::atomic<int>* const count_;
+  };
+  route_pin_t pin_route(int rank) {
+    return route_pin_t(ranks_[static_cast<std::size_t>(rank)]->route_pins);
+  }
   // Routing: messages from device `src_index` of context `context` arrive at
   // the target rank's same-context device src_index mod device-count
   // (skipping freed slots).
@@ -202,6 +235,7 @@ class sim_fabric_t final : public fabric_t,
     util::mpmc_array_t<sim_device_t*> devices{8};
   };
   struct rank_state_t {
+    std::atomic<int> route_pins{0};  // peers inside route() -> push -> ring
     util::mpmc_array_t<context_devices_t*> contexts{8};
     util::spinlock_t context_lock;
     std::vector<std::unique_ptr<context_devices_t>> context_storage;
