@@ -11,7 +11,17 @@
 // Expected shape: monotone decline, roughly proportional to 1/(1-rate) in
 // attempted posts per delivered message, with extra loss at high rates from
 // backlog churn on the rendezvous handshakes.
+// Two robustness sweeps ride along (PR: peer-failure injection):
+//   kill: rank 1's kill schedule fires mid-pingpong at varying depths; the
+//         reported time is how long the whole benchmark takes to *terminate*
+//         (every worker notices the death and winds down instead of hanging).
+//   loss: a one-directional flood under silent wire loss; reports the
+//         delivered fraction, the evaporated-message count, and how many
+//         orphaned receives drain() had to cancel at the end.
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "pingpong.hpp"
 
@@ -37,6 +47,120 @@ void run_case(bench::json_report_t& report, double rate, int threads,
       .field("seconds", result.seconds);
 }
 
+// Mid-benchmark peer death: rank 1 dies after `kill_after_ops` successful
+// net posts. The interesting number is the wall time to full termination —
+// with the failure lifecycle in place it tracks the kill depth instead of
+// hanging at the ctest timeout.
+void run_kill_case(bench::json_report_t& report, long kill_after,
+                   long iterations) {
+  bench::pingpong_params_t params;
+  params.backend = lcw::backend_t::lci;
+  params.nranks = 2;
+  params.nthreads = 2;
+  params.use_am = false;  // tagged path: receives park and must be failed
+  params.msg_size = 8;
+  params.iterations = iterations;
+  if (kill_after >= 0) {
+    params.fabric.fault.kill_rank = 1;
+    params.fabric.fault.kill_after_ops = static_cast<uint64_t>(kill_after);
+  }
+  params.fabric.fault.seed = 0x5eed5eedull;
+  const auto result = bench::run_pingpong(params);
+  std::printf("%14ld  %9.4f\n", kill_after, result.seconds);
+  report.row()
+      .field("mode", std::string("kill"))
+      .field("kill_after_ops", kill_after)
+      .field("iterations", iterations)
+      .field("seconds", result.seconds);
+}
+
+// Silent wire loss: rank 0 floods rank 1 one-directionally (inject-sized, so
+// every message is one wire datagram and sender completion is local). There
+// is no retransmission layer, so the receiver exits on sustained idleness
+// and drain() cancels the receives whose messages evaporated.
+void run_loss_case(bench::json_report_t& report, double loss_rate,
+                   long messages) {
+  lci::net::config_t config;
+  config.fault.loss_rate = loss_rate;
+  config.fault.seed = 0x10551055ull;
+  bench::apply_net_env(&config);
+
+  std::atomic<bool> sender_done{false};
+  std::atomic<long> delivered{0};
+  std::atomic<long> drained{0};
+  std::atomic<uint64_t> dropped{0};
+  const double t0 = bench::now_sec();
+  lci::sim::spawn(
+      2,
+      [&](int rank) {
+        lci::g_runtime_init();
+        if (rank == 0) {
+          char byte = 'f';
+          for (long i = 0; i < messages; ++i) {
+            lci::status_t ss;
+            do {
+              ss = lci::post_send(1, &byte, 1, 0, {});
+              lci::progress();
+            } while (ss.error.is_retry());
+          }
+          sender_done.store(true, std::memory_order_release);
+        } else {
+          lci::comp_t cq = lci::alloc_cq();
+          std::vector<char> bufs(static_cast<std::size_t>(messages));
+          // Handles make the receives drain()-able: untracked receives are
+          // only reclaimed by peer death or runtime teardown.
+          std::vector<lci::op_t> ops(static_cast<std::size_t>(messages));
+          for (long i = 0; i < messages; ++i)
+            (void)lci::post_recv_x(0, &bufs[static_cast<std::size_t>(i)], 1,
+                                   0, cq)
+                .op_handle(&ops[static_cast<std::size_t>(i)])
+                .allow_done(false)();
+          long got = 0;
+          int idle_rounds = 0;
+          // Bounded idle exit: the flood has no retransmission, so once the
+          // sender finished and nothing arrives for a while, the rest is
+          // lost for good.
+          while (idle_rounds < 2000) {
+            lci::progress();
+            if (!lci::cq_pop(cq).error.is_retry()) {
+              ++got;
+              idle_rounds = 0;
+              continue;
+            }
+            if (sender_done.load(std::memory_order_acquire)) ++idle_rounds;
+            std::this_thread::yield();
+          }
+          delivered.store(got, std::memory_order_relaxed);
+          // Orphaned receives are force-canceled; their completions drain
+          // through the same queue.
+          const std::size_t killed = lci::drain(lci::device_t{}, 10000);
+          drained.store(static_cast<long>(killed), std::memory_order_relaxed);
+          while (!lci::cq_pop(cq).error.is_retry()) {
+          }
+          dropped.store(lci::get_attr(lci::device_t{}).wire_dropped,
+                        std::memory_order_relaxed);
+          lci::free_comp(&cq);
+        }
+        lci::g_runtime_fina();
+      },
+      config);
+  const double seconds = bench::now_sec() - t0;
+  const double frac =
+      static_cast<double>(delivered.load()) / static_cast<double>(messages);
+  std::printf("%9.3f  %9ld  %14.4f  %12lu  %9ld\n", loss_rate,
+              delivered.load(), frac,
+              static_cast<unsigned long>(dropped.load()), drained.load());
+  report.row()
+      .field("mode", std::string("loss"))
+      .field("loss_rate", loss_rate)
+      .field("messages", messages)
+      .field("delivered", delivered.load())
+      .field("delivered_frac", frac)
+      .field("wire_dropped", static_cast<long>(dropped.load()))
+      .field("drain_canceled", drained.load())
+      .field("seconds", seconds);
+}
+
 }  // namespace
 
 int main() {
@@ -50,6 +174,20 @@ int main() {
     for (const double rate : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5}) {
       run_case(report, rate, threads, iterations);
     }
+  }
+
+  bench::print_header("Peer death mid-benchmark (kill_after_ops; -1 = none)",
+                      "kill_after_ops  seconds");
+  for (const long kill_after : {-1L, 100L, 1000L, 10000L}) {
+    run_kill_case(report, kill_after, iterations);
+  }
+
+  bench::print_header(
+      "Silent wire loss (one-directional flood)",
+      "loss_rate  delivered  delivered_frac  wire_dropped  drained");
+  const long flood = bench::iters(2000) * 4;
+  for (const double loss : {0.0, 0.01, 0.05, 0.2}) {
+    run_loss_case(report, loss, flood);
   }
   return 0;
 }

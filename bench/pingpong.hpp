@@ -86,6 +86,10 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         // arrivals, completions are fungible across threads in shared mode,
         // so the counter is rank-global.
         std::atomic<long> outstanding{0};
+        // Set when any post reports `failed` (fault-injection runs kill
+        // ranks mid-benchmark): the remaining traffic can never arrive, so
+        // every worker on this rank stops instead of spinning.
+        std::atomic<bool> peer_dead{false};
         constexpr int recv_window = 4;
 
         // Workers poll do_progress unless dedicated engine threads own the
@@ -120,13 +124,17 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
               bufs.push_back(std::make_unique<char[]>(p.msg_size));
               if (take_recv_budget()) {
                 retry_backoff.reset();
-                while (dev->post_recv(peer, bufs.back().get(), p.msg_size,
-                                      tag) == lcw::post_t::retry) {
+                lcw::post_t pr;
+                while ((pr = dev->post_recv(peer, bufs.back().get(),
+                                            p.msg_size, tag)) ==
+                       lcw::post_t::retry) {
                   if (workers_progress)
                     dev->do_progress();
                   else
                     retry_backoff.spin();  // engine threads clear the jam
                 }
+                if (pr == lcw::post_t::failed)
+                  peer_dead.store(true, std::memory_order_relaxed);
               }
             }
           }
@@ -147,10 +155,11 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
           long sent = 0;
           // Exit only when every posted send completed: a rendezvous send
           // reads out[] until its completion signals.
-          while (sent < p.iterations ||
-                 outstanding.load(std::memory_order_relaxed) > 0 ||
-                 arrivals.load(std::memory_order_relaxed) <
-                     total_msgs_per_rank) {
+          while (!peer_dead.load(std::memory_order_relaxed) &&
+                 (sent < p.iterations ||
+                  outstanding.load(std::memory_order_relaxed) > 0 ||
+                  arrivals.load(std::memory_order_relaxed) <
+                      total_msgs_per_rank)) {
             bool did_something = false;
             while (sent < p.iterations && try_take_credit()) {
               const auto r =
@@ -158,6 +167,11 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
                            : dev->post_send(peer, out.data(), p.msg_size, tag);
               if (r == lcw::post_t::retry) {
                 credits.fetch_add(1, std::memory_order_relaxed);
+                break;
+              }
+              if (r == lcw::post_t::failed) {
+                credits.fetch_add(1, std::memory_order_relaxed);
+                peer_dead.store(true, std::memory_order_relaxed);
                 break;
               }
               if (r == lcw::post_t::posted)
@@ -169,19 +183,28 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
             lcw::request_t req;
             while (dev->poll_recv(&req)) {
               did_something = true;
+              if (req.failed) {
+                // Fatally-completed receive (peer died): the buffer is back
+                // in our hands, nothing was delivered — stop the exchange.
+                peer_dead.store(true, std::memory_order_relaxed);
+                continue;
+              }
               arrivals.fetch_add(1, std::memory_order_relaxed);
               credits.fetch_add(1, std::memory_order_relaxed);
               if (p.use_am) {
                 std::free(req.buffer);
               } else if (take_recv_budget()) {
                 retry_backoff.reset();
-                while (dev->post_recv(peer, req.buffer, p.msg_size, tag) ==
-                       lcw::post_t::retry) {
+                lcw::post_t pr;
+                while ((pr = dev->post_recv(peer, req.buffer, p.msg_size,
+                                            tag)) == lcw::post_t::retry) {
                   if (workers_progress)
                     dev->do_progress();
                   else
                     retry_backoff.spin();
                 }
+                if (pr == lcw::post_t::failed)
+                  peer_dead.store(true, std::memory_order_relaxed);
               }
             }
             while (dev->poll_send(&req)) {

@@ -1,35 +1,82 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite twice: once in the default build and once with
-# ThreadSanitizer (LCI_SANITIZE=thread). CI gate: both passes must be green.
+# Runs the tier-1 test suite three times: the default build, ThreadSanitizer
+# (LCI_SANITIZE=thread), and AddressSanitizer (LCI_SANITIZE=address). CI
+# gate: every leg must be green. A per-leg summary table prints at the end
+# (legs keep running after a failure so the table shows every result).
 #
-# Usage: scripts/run_tier1.sh [build-dir] [tsan-build-dir]
+# Usage: scripts/run_tier1.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #   build-dir       default: build
 #   tsan-build-dir  default: build-tsan
+#   asan-build-dir  default: build-asan
 #
 # Environment:
 #   CTEST_PARALLEL  parallel ctest jobs (default: 8)
-#   CMAKE_ARGS      extra arguments forwarded to both cmake configures
-set -euo pipefail
+#   CMAKE_ARGS      extra arguments forwarded to all cmake configures
+#   LCI_TIER1_LEGS  space-separated subset of "default tsan asan" to run
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 tsan_dir="${2:-${repo_root}/build-tsan}"
+asan_dir="${3:-${repo_root}/build-asan}"
 jobs="${CTEST_PARALLEL:-8}"
+legs="${LCI_TIER1_LEGS:-default tsan asan}"
+
+summary_labels=()
+summary_results=()
+failures=0
 
 configure_and_test() {
   local dir="$1"
   shift
   local label="$1"
   shift
+  local result="PASS"
   echo "== ${label}: configure + build (${dir})"
   # shellcheck disable=SC2086
-  cmake -S "${repo_root}" -B "${dir}" ${CMAKE_ARGS:-} "$@"
-  cmake --build "${dir}" -j
-  echo "== ${label}: ctest -L tier1 -j ${jobs}"
-  ctest --test-dir "${dir}" -L tier1 -j "${jobs}" --output-on-failure
+  if cmake -S "${repo_root}" -B "${dir}" ${CMAKE_ARGS:-} "$@" &&
+     cmake --build "${dir}" -j; then
+    echo "== ${label}: ctest -L tier1 -j ${jobs}"
+    if ! ctest --test-dir "${dir}" -L tier1 -j "${jobs}" --output-on-failure
+    then
+      result="FAIL (tests)"
+    fi
+  else
+    result="FAIL (build)"
+  fi
+  [[ "${result}" == "PASS" ]] || failures=$((failures + 1))
+  summary_labels+=("${label}")
+  summary_results+=("${result}")
 }
 
-configure_and_test "${build_dir}" "default"
-configure_and_test "${tsan_dir}" "thread-sanitizer" -DLCI_SANITIZE=thread
+for leg in ${legs}; do
+  case "${leg}" in
+    default) configure_and_test "${build_dir}" "default" ;;
+    tsan)
+      configure_and_test "${tsan_dir}" "thread-sanitizer" \
+        -DLCI_SANITIZE=thread
+      ;;
+    asan)
+      configure_and_test "${asan_dir}" "address-sanitizer" \
+        -DLCI_SANITIZE=address
+      ;;
+    *)
+      echo "unknown leg: ${leg}" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "== tier-1: both passes green"
+echo
+echo "== tier-1 summary"
+printf '%-20s %s\n' "leg" "result"
+printf '%-20s %s\n' "---" "------"
+for i in "${!summary_labels[@]}"; do
+  printf '%-20s %s\n' "${summary_labels[$i]}" "${summary_results[$i]}"
+done
+
+if [[ "${failures}" -ne 0 ]]; then
+  echo "== tier-1: ${failures} leg(s) failed"
+  exit 1
+fi
+echo "== tier-1: all legs green"

@@ -136,6 +136,7 @@ struct parcelport_t::impl_t {
   std::vector<parcel_handler_t> handlers;
   std::atomic<long> outstanding_sends{0};
   std::atomic<long> inflight_handlers{0};
+  std::atomic<long> failed_parcels{0};
   std::atomic<int> round_robin{0};
 };
 
@@ -180,9 +181,19 @@ bool parcelport_t::send_parcel(int dest, uint32_t handler, const void* data,
   const auto result =
       dev->post_am(dest, wire.data(), wire.size(), send_device);
   if (result == lcw::post_t::retry) return false;
+  if (result == lcw::post_t::failed) {
+    // Dead destination: the parcel is consumed (retrying would fail again) so
+    // callers' retry loops terminate and quiescent() stays reachable.
+    impl_->failed_parcels.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   if (result == lcw::post_t::posted)
     impl_->outstanding_sends.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+long parcelport_t::failed_parcels() const {
+  return impl_->failed_parcels.load(std::memory_order_relaxed);
 }
 
 bool parcelport_t::progress(int worker) {

@@ -102,9 +102,14 @@ class parcelport_t {
   uint32_t register_handler(parcel_handler_t handler);
 
   // Nonblocking: false = resources busy, retry (the caller is a task; it can
-  // yield and come back, the pattern LCI's retry code enables).
+  // yield and come back, the pattern LCI's retry code enables). A parcel
+  // addressed to a dead rank returns true (consumed — retrying can never
+  // succeed) and is counted in failed_parcels() instead of being delivered.
   bool send_parcel(int dest, uint32_t handler, const void* data,
                    std::size_t size);
+
+  // Parcels dropped because their destination rank was dead.
+  long failed_parcels() const;
 
   // Progress hook for scheduler idle loops: polls device (worker % ndevices)
   // and enqueues handler tasks for arrived parcels.

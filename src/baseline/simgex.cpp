@@ -110,11 +110,18 @@ void endpoint_t::am_request_medium(int dst, int handler, const void* data,
 
   lci::util::backoff_t backoff;
   while (true) {
+    net::post_result_t result;
     {
       std::lock_guard<lci::util::spinlock_t> guard(impl_->inject_lock);
-      if (impl_->device->post_send(dst, staging, sizeof(header) + size, 0,
-                                   nullptr) == net::post_result_t::ok)
-        break;
+      result = impl_->device->post_send(dst, staging, sizeof(header) + size, 0,
+                                        nullptr);
+    }
+    if (result == net::post_result_t::ok) break;
+    if (result == net::post_result_t::peer_down) {
+      // A dead target can never accept; spinning here would hang the caller
+      // (GASNet's blocking-injection semantics have no failure return).
+      impl_->put_buffer(staging);
+      throw std::runtime_error("simgex: AM request to a dead rank");
     }
     // Injection back-pressured: poll (GASNet semantics) and retry.
     poll();

@@ -107,11 +107,16 @@ struct vci_t {
   }
 
   // Posts a network send, spinning through local progress until the fabric
-  // accepts it (MPI may block inside any call).
+  // accepts it (MPI may block inside any call). A dead destination can never
+  // accept, so peer_down aborts instead of spinning — the MPI model has no
+  // per-operation failure reporting (cf. MPI_ERRORS_ARE_FATAL).
   void post_send_blocking(int dst, const void* data, std::size_t size) {
     lci::util::backoff_t backoff;
-    while (device->post_send(dst, data, size, 0, nullptr) !=
+    net::post_result_t result;
+    while ((result = device->post_send(dst, data, size, 0, nullptr)) !=
            net::post_result_t::ok) {
+      if (result == net::post_result_t::peer_down)
+        throw std::runtime_error("simmpi: send to a dead rank");
       progress_locked();
       backoff.spin();
     }
@@ -120,8 +125,11 @@ struct vci_t {
   void post_write_blocking(int dst, const void* src, std::size_t size,
                            net::mr_id_t mr, uint32_t imm, void* ctx) {
     lci::util::backoff_t backoff;
-    while (device->post_write(dst, src, size, mr, 0, true, imm, ctx) !=
-           net::post_result_t::ok) {
+    net::post_result_t result;
+    while ((result = device->post_write(dst, src, size, mr, 0, true, imm,
+                                        ctx)) != net::post_result_t::ok) {
+      if (result == net::post_result_t::peer_down)
+        throw std::runtime_error("simmpi: RDMA write to a dead rank");
       progress_locked();
       backoff.spin();
     }

@@ -44,19 +44,43 @@ coll_ctx_t make_ctx(runtime_t runtime, device_t device) {
   return coll_ctx_t{rt, dev, rt->next_collective_seq()};
 }
 
+// Deadline stamped on every internal post so a collective cannot wait
+// forever on a rank that aborted its half (see runtime_attr_t). 0 = none.
+uint64_t coll_deadline(const coll_ctx_t& ctx) {
+  return ctx.rt->attr().collective_deadline_us;
+}
+
 // Blocking wait used by every collective: progress the device until the sync
 // fires, yielding to the scheduler on idle rounds so oversubscribed ranks
 // (and auto-progressed devices, where our own progress() rarely wins work)
-// do not busy-burn a core.
-void coll_wait(const coll_ctx_t& ctx, comp_t sync) {
+// do not busy-burn a core. Returns the completed status rather than throwing
+// on a fatal one, so callers can release their sync comp first.
+status_t coll_wait(const coll_ctx_t& ctx, comp_t sync) {
   util::backoff_t backoff;
-  while (!sync_test(sync, nullptr)) {
+  status_t status;
+  while (!sync_test(sync, &status)) {
     if (ctx.dev->progress()) {
       backoff.reset();
     } else {
       backoff.spin();
     }
   }
+  return status;
+}
+
+// Settles a collective receive whatever state it is in and frees its sync.
+// `abort` is the failure path (the paired send already threw): the receive is
+// cancelled if it is still parked, and we then wait out its completion —
+// cancelled, matched, timed out, or peer-down, the sync always fires — so the
+// sync is never freed with a live receive still pointing at it.
+status_t finish_coll_recv(const coll_ctx_t& ctx, comp_t* sync, op_t op,
+                          status_t rstatus, bool abort) {
+  if (rstatus.error.is_posted()) {
+    if (abort) cancel(op);
+    rstatus = coll_wait(ctx, *sync);
+  }
+  free_comp(sync);
+  return rstatus;
 }
 
 // Blocking send: retries through progress, waits for rendezvous completion.
@@ -65,16 +89,23 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
   comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
   matching_engine_t engine{&ctx.rt->coll_engine()};
   util::backoff_t backoff;
+  const uint64_t deadline_us = coll_deadline(ctx);
+  const uint64_t give_up =
+      deadline_us != 0 ? detail::now_ns() + deadline_us * 1000 : 0;
   while (true) {
     const status_t status =
         post_send_x(peer, const_cast<void*>(buf), size, tag, sync)
             .runtime(runtime_t{ctx.rt})
             .device(device_t{ctx.dev})
-            .matching_engine(engine)();
+            .matching_engine(engine)
+            .deadline(deadline_us)();
     if (status.error.is_done()) break;
     if (status.error.is_posted()) {
-      coll_wait(ctx, sync);
-      break;
+      const status_t done = coll_wait(ctx, sync);
+      free_comp(&sync);
+      if (done.error.is_fatal())
+        throw fatal_error_t("collective send failed fatally");
+      return;
     }
     if (status.error.is_fatal()) {
       // Retrying a fatal error would spin forever; collectives have no
@@ -83,7 +114,12 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
       throw fatal_error_t("collective send failed fatally");
     }
     // Retry: progress and back off when nothing moved (e.g. a peer's packet
-    // pool is dry and only remote progress can refill it).
+    // pool is dry and only remote progress can refill it). The retry path
+    // never parks state, so the collective deadline is enforced here.
+    if (give_up != 0 && detail::now_ns() >= give_up) {
+      free_comp(&sync);
+      throw fatal_error_t("collective send timed out");
+    }
     if (ctx.dev->progress()) {
       backoff.reset();
     } else {
@@ -98,14 +134,16 @@ void coll_recv(const coll_ctx_t& ctx, int peer, void* buf, std::size_t size,
                tag_t tag) {
   comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
   matching_engine_t engine{&ctx.rt->coll_engine()};
+  op_t rop;
   const status_t status = post_recv_x(peer, buf, size, tag, sync)
                               .runtime(runtime_t{ctx.rt})
                               .device(device_t{ctx.dev})
-                              .matching_engine(engine)();
-  if (status.error.is_posted()) {
-    coll_wait(ctx, sync);
-  }
-  free_comp(&sync);
+                              .matching_engine(engine)
+                              .deadline(coll_deadline(ctx))
+                              .op_handle(&rop)();
+  const status_t done = finish_coll_recv(ctx, &sync, rop, status, false);
+  if (done.error.is_fatal())
+    throw fatal_error_t("collective receive failed fatally");
 }
 
 }  // namespace
@@ -120,20 +158,29 @@ void barrier(runtime_t runtime, device_t device) {
     const int to = (me + dist) % n;
     const int from = (me - dist % n + n) % n;
     const tag_t tag = coll_tag(coll_op_t::barrier, ctx.seq, round);
-    // Post the receive first, then send; wait for the receive.
+    // Post the receive first, then send; wait for the receive. If the send
+    // throws, the posted receive must be settled before its stack buffer and
+    // sync go out of scope.
     char incoming = 0;
     comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
     matching_engine_t engine{&ctx.rt->coll_engine()};
+    op_t rop;
     const status_t rstatus =
         post_recv_x(from, &incoming, sizeof(incoming), tag, sync)
             .runtime(runtime_t{ctx.rt})
             .device(device_t{ctx.dev})
-            .matching_engine(engine)();
-    coll_send(ctx, to, &token, sizeof(token), tag);
-    if (rstatus.error.is_posted()) {
-      coll_wait(ctx, sync);
+            .matching_engine(engine)
+            .deadline(coll_deadline(ctx))
+            .op_handle(&rop)();
+    try {
+      coll_send(ctx, to, &token, sizeof(token), tag);
+    } catch (...) {
+      finish_coll_recv(ctx, &sync, rop, rstatus, /*abort=*/true);
+      throw;
     }
-    free_comp(&sync);
+    const status_t done = finish_coll_recv(ctx, &sync, rop, rstatus, false);
+    if (done.error.is_fatal())
+      throw fatal_error_t("barrier failed fatally");
   }
 }
 
@@ -228,18 +275,25 @@ void allgather(const void* sendbuf, void* recvbuf, std::size_t size,
                                static_cast<uint32_t>(k));
     comp_t sync = alloc_sync(1, runtime_t{ctx.rt});
     matching_engine_t engine{&ctx.rt->coll_engine()};
+    op_t rop;
     const status_t rstatus =
         post_recv_x(left, out + static_cast<std::size_t>(recv_origin) * size,
                     size, tag, sync)
             .runtime(runtime_t{ctx.rt})
             .device(device_t{ctx.dev})
-            .matching_engine(engine)();
-    coll_send(ctx, right, out + static_cast<std::size_t>(send_origin) * size,
-              size, tag);
-    if (rstatus.error.is_posted()) {
-      coll_wait(ctx, sync);
+            .matching_engine(engine)
+            .deadline(coll_deadline(ctx))
+            .op_handle(&rop)();
+    try {
+      coll_send(ctx, right,
+                out + static_cast<std::size_t>(send_origin) * size, size, tag);
+    } catch (...) {
+      finish_coll_recv(ctx, &sync, rop, rstatus, /*abort=*/true);
+      throw;
     }
-    free_comp(&sync);
+    const status_t done = finish_coll_recv(ctx, &sync, rop, rstatus, false);
+    if (done.error.is_fatal())
+      throw fatal_error_t("allgather failed fatally");
   }
 }
 
@@ -272,6 +326,7 @@ graph_t alloc_barrier_graph(runtime_t runtime, device_t device) {
           .runtime(runtime_t{rt})
           .device(device_t{dev})
           .matching_engine(engine)
+          .deadline(rt->attr().collective_deadline_us)
           .allow_done(false)();
     });
     *recv_id = recv_node;

@@ -43,7 +43,9 @@ status_t cq_pop(comp_t cq) {
   if (impl == nullptr) throw fatal_error_t("cq_pop: not a completion queue");
   status_t status;
   if (impl->pop(&status)) {
-    status.error.code = errorcode_t::done;
+    // Keep a fatal completion's code (peer down / canceled / timed out) —
+    // rewriting it to `done` would hide the failure from the consumer.
+    if (!status.error.is_fatal()) status.error.code = errorcode_t::done;
     return status;
   }
   status.error.code = errorcode_t::retry;
@@ -142,13 +144,19 @@ runtime_attr_t get_attr(runtime_t runtime) {
 
 device_attr_t get_attr(device_t device) {
   device_attr_t attr;
-  if (device.p == nullptr) return attr;
-  attr.prepost_depth = device.p->prepost_depth();
-  attr.net_index = device.p->net().index();
-  attr.backlog_size = device.p->backlog().size_approx();
-  attr.injected_faults = device.p->net().injected_faults();
-  attr.auto_progress = device.p->auto_progress();
-  attr.doorbell_rings = device.p->doorbell().rings();
+  detail::device_impl_t* dev =
+      device.p != nullptr ? device.p
+                          : &detail::resolve_runtime({})->default_device();
+  attr.prepost_depth = dev->prepost_depth();
+  attr.net_index = dev->net().index();
+  attr.backlog_size = dev->backlog().size_approx();
+  attr.injected_faults = dev->net().injected_faults();
+  attr.auto_progress = dev->auto_progress();
+  attr.doorbell_rings = dev->doorbell().rings();
+  attr.wire_dropped = dev->net().wire_dropped();
+  const int nranks = dev->runtime()->nranks();
+  for (int rank = 0; rank < nranks; ++rank)
+    if (dev->net().is_peer_down(rank)) attr.dead_peers.push_back(rank);
   return attr;
 }
 

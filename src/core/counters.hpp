@@ -33,6 +33,12 @@ struct counters_t {
   uint64_t backlog_retries = 0;  // backlog retry attempts that failed again
   uint64_t backlog_peak_depth = 0;  // high-water mark of any backlog queue
   uint64_t comp_fatal = 0;       // completions delivered with a fatal error
+  // Failure lifecycle: operations completed with fatal_canceled by cancel()
+  // or drain(), with fatal_timeout by the deadline sweep, and with
+  // fatal_peer_down by the dead-peer purge / posts naming a dead rank.
+  uint64_t ops_canceled = 0;
+  uint64_t ops_timed_out = 0;
+  uint64_t peer_down_completions = 0;
   uint64_t progress_calls = 0;
   // Auto-progress engine (core/progress_engine.hpp): service rounds made by
   // background progress threads, rounds that advanced anything, times an
@@ -47,6 +53,10 @@ struct counters_t {
   // over the runtime's live devices at snapshot time (not a runtime counter
   // cell, so reset_counters does not clear it).
   uint64_t fault_injected = 0;
+  // Wire messages that evaporated (loss_rate drops plus traffic discarded at
+  // or from dead ranks). Like fault_injected, summed over live devices at
+  // snapshot time.
+  uint64_t wire_dropped = 0;
 };
 
 namespace detail {
@@ -68,6 +78,9 @@ enum class counter_id_t : int {
   backlog_retries,
   backlog_peak_depth,
   comp_fatal,
+  ops_canceled,
+  ops_timed_out,
+  peer_down_completions,
   progress_calls,
   progress_thread_polls,
   progress_thread_advances,
@@ -111,6 +124,9 @@ class counter_block_t {
     out.backlog_retries = load(counter_id_t::backlog_retries);
     out.backlog_peak_depth = load(counter_id_t::backlog_peak_depth);
     out.comp_fatal = load(counter_id_t::comp_fatal);
+    out.ops_canceled = load(counter_id_t::ops_canceled);
+    out.ops_timed_out = load(counter_id_t::ops_timed_out);
+    out.peer_down_completions = load(counter_id_t::peer_down_completions);
     out.progress_calls = load(counter_id_t::progress_calls);
     out.progress_thread_polls = load(counter_id_t::progress_thread_polls);
     out.progress_thread_advances =

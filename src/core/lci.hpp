@@ -99,9 +99,13 @@ enum class errorcode_t : uint8_t {
   // while *posting* stay C++ exceptions (Sec. 3.2.5); these codes report
   // failures detected *after* an operation was accepted — they are returned
   // or delivered through the completion object (exactly once), never thrown
-  // out of progress().
+  // out of progress(). Exception: fatal_peer_down is also *returned* (not
+  // thrown) by posts naming an already-dead rank, so retry loops terminate.
   fatal,            // unclassified permanent failure
   fatal_truncated,  // incoming message exceeds the posted receive buffer(s)
+  fatal_peer_down,  // the named peer died (kill schedule / kill_peer hook)
+  fatal_canceled,   // terminated by cancel() or drain()
+  fatal_timeout,    // the operation's .deadline(us) expired
 };
 
 struct error_t {
@@ -114,7 +118,11 @@ struct error_t {
     return code == errorcode_t::posted || code == errorcode_t::posted_backlog;
   }
   bool is_fatal() const {
-    return code == errorcode_t::fatal || code == errorcode_t::fatal_truncated;
+    return code == errorcode_t::fatal ||
+           code == errorcode_t::fatal_truncated ||
+           code == errorcode_t::fatal_peer_down ||
+           code == errorcode_t::fatal_canceled ||
+           code == errorcode_t::fatal_timeout;
   }
   bool is_retry() const { return !is_done() && !is_posted() && !is_fatal(); }
 };
@@ -148,6 +156,7 @@ class matching_engine_impl_t;
 class packet_pool_impl_t;
 class comp_impl_t;
 class graph_impl_t;
+struct op_record_t;
 }  // namespace detail
 
 struct runtime_t {
@@ -172,6 +181,16 @@ struct comp_t {
 };
 struct graph_t {
   detail::graph_impl_t* p = nullptr;
+  bool is_valid() const { return p != nullptr; }
+};
+
+// Cancellable-operation handle. Filled in by post_*_x(...).op_handle(&op)
+// when the operation parks state the runtime can still pull back (a posted
+// receive waiting in the matching engine, a backlogged operation, a pending
+// rendezvous handshake). Invalid when the post completed or failed
+// immediately — there is nothing left to cancel.
+struct op_t {
+  std::shared_ptr<detail::op_record_t> p;
   bool is_valid() const { return p != nullptr; }
 };
 
@@ -229,6 +248,12 @@ struct runtime_attr_t {
   std::size_t progress_spin_polls = 256;
   std::size_t progress_backoff_polls = 64;
   std::size_t progress_sleep_us = 500;
+  // Deadline (us) stamped on every internal collective receive; 0 = none.
+  // When a member rank dies mid-collective, its direct peers fail with
+  // fatal_peer_down, but ranks waiting on live-yet-aborted peers would wait
+  // forever — the deadline turns those waits into fatal_timeout, so the
+  // collective terminates with a fatal code at every member rank.
+  uint64_t collective_deadline_us = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -295,6 +320,35 @@ void reset_counters(runtime_t runtime = {});
 // with (all-zero when injection is off). Configure it through the
 // net::config_t handed to sim::spawn / sim::world_t.
 net::fault_config_t get_fault_config(runtime_t runtime = {});
+
+// ---------------------------------------------------------------------------
+// Failure lifecycle: cancellation, deadlines, peer death, drain
+// ---------------------------------------------------------------------------
+
+// Terminates a still-parked operation: a posted receive is pulled back out of
+// the matching engine, a backlogged operation is retired before it re-runs, a
+// pending rendezvous handshake is torn down. On success the operation
+// completes exactly once with fatal_canceled (through its completion object
+// if it has one; an operation posted without one just disappears) and cancel
+// returns true. Returns false when the runtime no longer owns the operation —
+// it already matched, completed, timed out, or is mid-flight — in which case
+// the operation completes (or completed) through its normal path.
+bool cancel(op_t op);
+
+// Test hook: kills `rank` fabric-wide, as if its kill schedule had fired.
+// Every in-flight and subsequently posted operation naming it completes with
+// fatal_peer_down. Returns false if the rank was already dead (or the backend
+// cannot kill).
+bool kill_peer(int rank, runtime_t runtime = {});
+
+// Quiesces a device for graceful teardown: progresses it until its backlog is
+// empty and nothing is moving, or `timeout_us` elapses — then force-cancels
+// whatever is still parked on it (backlog entries, tracked receives and
+// rendezvous handshakes with handles/deadlines, and this runtime's pending
+// rendezvous state). Killed operations complete with fatal_canceled. Returns
+// the number of operations it had to kill (0 = clean quiesce).
+std::size_t drain(device_t device = {}, uint64_t timeout_us = 0,
+                  runtime_t runtime = {});
 
 // ---------------------------------------------------------------------------
 // Resources (Sec. 3.2.3, 4.1)
@@ -422,6 +476,8 @@ struct device_attr_t {
   uint64_t injected_faults = 0; // forced retries on this device's net queue
   bool auto_progress = false;   // serviced by the runtime's progress engine
   uint64_t doorbell_rings = 0;  // wakeup-hint rings observed on this device
+  uint64_t wire_dropped = 0;    // wire messages that evaporated at this device
+  std::vector<int> dead_peers;  // ranks this device knows to be dead
 };
 struct matching_engine_attr_t {
   std::size_t num_buckets = 0;
@@ -546,6 +602,12 @@ struct post_args_t {
   void* user_context = nullptr;
   const buffers_t* buffers = nullptr; // engaged => buffer-list operation
   bool from_packet = false;           // local_buffer is a get_packet address
+  // Failure lifecycle: relative deadline (0 = none) after which the deadline
+  // sweep completes the operation with fatal_timeout if it is still parked
+  // (receive unmatched, backlog entry unexecuted, rendezvous handshake
+  // unanswered); and an optional out-param receiving a cancel() handle.
+  uint64_t deadline_us = 0;
+  op_t* out_op = nullptr;
 };
 
 status_t post_comm_impl(const post_args_t& args);
@@ -582,6 +644,8 @@ status_t post_comm_impl(const post_args_t& args);
   class_name& user_context(void* v) { args_.user_context = v; return *this; } \
   class_name& buffers(const buffers_t& v) { args_.buffers = &v; return *this; } \
   class_name& from_packet(bool v) { args_.from_packet = v; return *this; }     \
+  class_name& deadline(uint64_t us) { args_.deadline_us = us; return *this; }  \
+  class_name& op_handle(op_t* v) { args_.out_op = v; return *this; }           \
   status_t operator()() const { return detail::post_comm_impl(args_); }
 
 class post_comm_x {

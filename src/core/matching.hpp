@@ -11,12 +11,14 @@
 // miss; overflow spills to heap containers.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/lci.hpp"
@@ -95,6 +97,50 @@ class matching_engine_impl_t {
     return nullptr;
   }
 
+  // Removes one specific queued entry (pointer identity). Returns true when
+  // the entry was found and removed — the caller then owns it exclusively.
+  // False means a complementary arrival already consumed it (or it was never
+  // queued): whoever popped it owns its completion. The bucket lock is the
+  // arbitration point between cancel/timeout/purge and the matching paths.
+  bool remove(key_t key, void* value) {
+    bucket_t& bucket = buckets_[hash(key) & mask_];
+    std::lock_guard<util::spinlock_t> guard(bucket.lock);
+    for (std::size_t i = 0; i < bucket.nfast; ++i) {
+      if (bucket.fast[i].key == key)
+        return remove_from_slot(bucket, /*in_fast=*/true, i, value);
+    }
+    if (bucket.overflow) {
+      for (std::size_t i = 0; i < bucket.overflow->size(); ++i) {
+        if ((*bucket.overflow)[i].key == key)
+          return remove_from_slot(bucket, /*in_fast=*/false, i, value);
+      }
+    }
+    return false;
+  }
+
+  // Removes every queued entry the predicate claims; pred(value, type) must
+  // be side-effect free. Removed entries are appended to `out` so the caller
+  // can complete or recycle them (it now owns them exclusively). Takes every
+  // bucket lock in turn — a purge-rate operation, not a fast-path one.
+  template <class Pred>
+  std::size_t purge_if(Pred&& pred,
+                       std::vector<std::pair<void*, type_t>>& out) {
+    std::size_t removed = 0;
+    std::vector<void*> vals;
+    for (auto& bucket : buckets_) {
+      std::lock_guard<util::spinlock_t> guard(bucket.lock);
+      // Backwards so remove_slot's swap-from-back only re-seats slots this
+      // loop has already visited.
+      for (std::size_t i = bucket.nfast; i-- > 0;)
+        removed += purge_slot(bucket, /*in_fast=*/true, i, pred, out, vals);
+      if (bucket.overflow) {
+        for (std::size_t i = bucket.overflow->size(); i-- > 0;)
+          removed += purge_slot(bucket, /*in_fast=*/false, i, pred, out, vals);
+      }
+    }
+    return removed;
+  }
+
   // Total queued entries (for tests; takes every bucket lock).
   std::size_t size_slow() const {
     std::size_t total = 0;
@@ -158,6 +204,20 @@ class matching_engine_impl_t {
       --count;
       return front;
     }
+    // FIFO snapshot / rebuild, used by the removal paths.
+    void collect(std::vector<void*>& out) const {
+      const uint32_t ninline =
+          count < fast_entries ? count : static_cast<uint32_t>(fast_entries);
+      for (uint32_t i = 0; i < ninline; ++i) out.push_back(inline_vals[i]);
+      if (extra)
+        for (void* v : *extra) out.push_back(v);
+    }
+    void assign(const std::vector<void*>& vals) {
+      count = 0;
+      inline_vals[0] = inline_vals[1] = nullptr;
+      if (extra) extra->clear();
+      for (void* v : vals) push(v);
+    }
   };
 
   struct bucket_t {
@@ -180,6 +240,45 @@ class matching_engine_impl_t {
     void* matched = slot.pop_front();
     if (slot.count == 0) remove_slot(bucket, in_fast, i);
     return matched;
+  }
+
+  // Caller holds the bucket lock; the slot at (in_fast, i) has the key.
+  bool remove_from_slot(bucket_t& bucket, bool in_fast, std::size_t i,
+                        void* value) {
+    slot_t& slot = in_fast ? bucket.fast[i] : (*bucket.overflow)[i];
+    std::vector<void*> vals;
+    slot.collect(vals);
+    auto it = std::find(vals.begin(), vals.end(), value);
+    if (it == vals.end()) return false;
+    vals.erase(it);
+    slot.assign(vals);
+    if (slot.count == 0) remove_slot(bucket, in_fast, i);
+    return true;
+  }
+
+  // Caller holds the bucket lock. Removes the slot's entries claimed by pred.
+  template <class Pred>
+  std::size_t purge_slot(bucket_t& bucket, bool in_fast, std::size_t i,
+                         Pred&& pred,
+                         std::vector<std::pair<void*, type_t>>& out,
+                         std::vector<void*>& scratch) {
+    slot_t& slot = in_fast ? bucket.fast[i] : (*bucket.overflow)[i];
+    scratch.clear();
+    slot.collect(scratch);
+    std::size_t kept = 0, removed = 0;
+    for (void* v : scratch) {
+      if (pred(v, slot.type)) {
+        out.emplace_back(v, slot.type);
+        ++removed;
+      } else {
+        scratch[kept++] = v;
+      }
+    }
+    if (removed == 0) return 0;
+    scratch.resize(kept);
+    slot.assign(scratch);
+    if (slot.count == 0) remove_slot(bucket, in_fast, i);
+    return removed;
   }
 
   static void remove_slot(bucket_t& bucket, bool in_fast, std::size_t i) {

@@ -52,6 +52,43 @@ status_t retry_status(errorcode_t code) {
   return status;
 }
 
+// Maps a failed net post to a status. Retries come back bare; fatal results
+// (peer_down today) come back as a fully populated fatal status so retry
+// loops terminate instead of spinning on a dead rank. Returned, not thrown:
+// the op names state the user still owns, nothing was accepted.
+status_t failed_post_status(const resolved_t& r, const post_args_t& args,
+                            net::post_result_t result) {
+  const error_t err = map_net_result(result);
+  if (err.is_fatal())
+    return make_fatal_status(r.runtime, err.code, args.rank, args.tag,
+                             args.local_buffer, payload_size(args),
+                             args.user_context);
+  return retry_status(err.code);
+}
+
+// Builds the op record for a tracked post (.deadline(us) / .op_handle(&op)).
+std::shared_ptr<op_record_t> make_record(const resolved_t& r,
+                                         const post_args_t& args,
+                                         op_kind_t kind) {
+  auto record = std::make_shared<op_record_t>();
+  record->kind = kind;
+  record->runtime = r.runtime;
+  record->device = r.device;
+  record->comp = args.local_comp.p;
+  record->user_context = args.user_context;
+  record->buffer = args.local_buffer;
+  record->size = payload_size(args);
+  record->rank = args.rank;
+  record->tag = args.tag;
+  if (args.deadline_us != 0)
+    record->deadline_ns = now_ns() + args.deadline_us * 1000;
+  return record;
+}
+
+bool wants_record(const post_args_t& args) {
+  return args.deadline_us != 0 || args.out_op != nullptr;
+}
+
 status_t done_status(const post_args_t& args, std::size_t size) {
   status_t status;
   status.error.code = errorcode_t::done;
@@ -103,7 +140,7 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
     result = r.device->net().post_send(args.rank, staging, wire_size, 0,
                                        nullptr);
     if (result != net::post_result_t::ok)
-      return retry_status(map_net_result(result).code);
+      return failed_post_status(r, args, result);
     r.runtime->counters().add(counter_id_t::send_inject);
     return finish_immediate(args, size, via_backlog);
   }
@@ -126,9 +163,12 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
       r.device->net().post_send(args.rank, packet->payload(), wire_size, 0,
                                 nullptr);
   if (result != net::post_result_t::ok) {
-    // from_packet: the caller keeps its packet across the retry.
-    if (!args.from_packet) r.pool->put(packet);
-    return retry_status(map_net_result(result).code);
+    const status_t failed = failed_post_status(r, args, result);
+    // from_packet: the caller keeps its packet across a retry — but a fatal
+    // result ends the op, so the packet is consumed either way.
+    if (!args.from_packet || failed.error.is_fatal())
+      packet->pool->put(packet);
+    return failed;
   }
   // The simulated wire copies synchronously, so the packet is reusable as
   // soon as the post succeeds (a hardware backend would return it from the
@@ -159,7 +199,16 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
   } else {
     state.buffer = args.local_buffer;
   }
+  std::shared_ptr<op_record_t> record;
+  if (wants_record(args)) {
+    record = make_record(r, args, op_kind_t::rdv_send);
+    state.record = record;
+  }
   const uint32_t rdv_id = r.runtime->pending_sends().add(std::move(state));
+  if (record) {
+    std::lock_guard<util::spinlock_t> guard(record->lock);
+    record->rdv_id = rdv_id;
+  }
 
   struct rts_msg_t {
     msg_header_t header;
@@ -177,10 +226,24 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
       r.device->net().post_send(args.rank, &msg, sizeof(msg), 0, nullptr);
   if (result != net::post_result_t::ok) {
     rdv_send_t rollback;
-    r.runtime->pending_sends().take(rdv_id, &rollback);
-    return retry_status(map_net_result(result).code);
+    if (!r.runtime->pending_sends().take(rdv_id, &rollback)) {
+      // The peer died between the table add and the RTS post, and the purge
+      // already completed this op through its comp. Report `posted`: the
+      // op was accepted and its (fatal) completion delivered.
+      status_t status;
+      status.error.code = errorcode_t::posted;
+      return status;
+    }
+    if (rollback.record)
+      rollback.record->state.store(op_record_t::st_terminal,
+                                   std::memory_order_release);
+    return failed_post_status(r, args, result);
   }
   r.runtime->counters().add(counter_id_t::send_rdv);
+  if (record) {
+    r.runtime->track_op(record);
+    if (args.out_op != nullptr) args.out_op->p = record;
+  }
   status_t status;
   status.error.code = errorcode_t::posted;
   return status;
@@ -190,6 +253,17 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
 // Receive path.
 // ---------------------------------------------------------------------------
 status_t post_receive(const resolved_t& r, const post_args_t& args) {
+  // A receive that names its peer (rank not wildcarded by the policy) fails
+  // immediately when that peer is already dead: no message from it can ever
+  // arrive, and a queued entry would only be purged right back out.
+  const bool names_peer =
+      args.matching_policy == matching_policy_t::rank_tag ||
+      args.matching_policy == matching_policy_t::rank_only;
+  if (names_peer && r.device->net().is_peer_down(args.rank))
+    return make_fatal_status(r.runtime, errorcode_t::fatal_peer_down,
+                             args.rank, args.tag, args.local_buffer,
+                             payload_size(args), args.user_context);
+
   auto* entry = new recv_entry_t;
   entry->buffer = args.local_buffer;
   entry->size = payload_size(args);
@@ -201,10 +275,42 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
 
   const auto key =
       r.engine->make_key(args.rank, args.tag, args.matching_policy);
+  std::shared_ptr<op_record_t> record;
+  if (wants_record(args)) {
+    record = make_record(r, args, op_kind_t::recv);
+    record->engine = r.engine;
+    record->key = key;
+    record->entry = entry;
+    entry->record = record;
+  }
   r.runtime->counters().add(counter_id_t::recv_posted);
   void* matched =
       r.engine->insert(key, entry, matching_engine_impl_t::type_t::recv);
   if (matched == nullptr) {
+    if (names_peer && r.device->net().is_peer_down(args.rank)) {
+      // The peer died while we were inserting; the purge pass may have swept
+      // the engine before our entry landed. Pull it back out. Losing the
+      // remove race means the purge (or a real match racing the kill) now
+      // owns the entry and will deliver its completion.
+      if (r.engine->remove(key, entry)) {
+        if (record) {
+          std::lock_guard<util::spinlock_t> guard(record->lock);
+          record->engine = nullptr;
+          record->entry = nullptr;
+          record->state.store(op_record_t::st_terminal,
+                              std::memory_order_release);
+        }
+        const status_t status = make_fatal_status(
+            r.runtime, errorcode_t::fatal_peer_down, args.rank, args.tag,
+            entry->buffer, entry->size, args.user_context);
+        delete entry;
+        return status;
+      }
+    }
+    if (record) {
+      r.runtime->track_op(record);
+      if (args.out_op != nullptr) args.out_op->p = record;
+    }
     status_t status;
     status.error.code = errorcode_t::posted;
     return status;
@@ -237,7 +343,19 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
   state.comp = entry->comp;
   state.user_context = entry->user_context;
   state.list = std::move(entry->list);
+  state.record = std::move(entry->record);
+  if (state.record) {
+    std::lock_guard<util::spinlock_t> guard(state.record->lock);
+    state.record->engine = nullptr;
+    state.record->entry = nullptr;
+  }
   delete entry;
+  if (record) {
+    // The receive continues as a rendezvous: the record stays live (re-homed
+    // by start_rendezvous_recv) and cancel/deadline still apply.
+    r.runtime->track_op(record);
+    if (args.out_op != nullptr) args.out_op->p = record;
+  }
   start_rendezvous_recv(r.runtime, r.device, peer_rank, header->tag,
                         rts.rdv_id, rts.size, std::move(state));
   packet->pool->put(packet);
@@ -253,6 +371,8 @@ status_t post_comm_impl(const post_args_t& args) {
 
   if (args.rank < 0 || args.rank >= r.runtime->nranks())
     throw fatal_error_t("post_comm: rank out of range");
+  // The handle starts invalid; the paths that park cancellable state fill it.
+  if (args.out_op != nullptr) args.out_op->p.reset();
 
   status_t status;
   const bool has_remote_buffer = args.remote_buffer.is_valid();
@@ -286,7 +406,7 @@ status_t post_comm_impl(const post_args_t& args) {
       }
       if (result != net::post_result_t::ok) {
         delete ctx;
-        status = retry_status(map_net_result(result).code);
+        status = failed_post_status(r, args, result);
       } else {
         r.runtime->counters().add(counter_id_t::rma_put);
         status.error.code = errorcode_t::posted;
@@ -329,7 +449,7 @@ status_t post_comm_impl(const post_args_t& args) {
       }
       if (result != net::post_result_t::ok) {
         delete ctx;
-        status = retry_status(map_net_result(result).code);
+        status = failed_post_status(r, args, result);
       } else {
         r.runtime->counters().add(counter_id_t::rma_get);
         status.error.code = errorcode_t::posted;
@@ -395,26 +515,66 @@ status_t post_comm_impl(const post_args_t& args) {
       capture->buffers = *args.buffers;
       capture->args.buffers = &capture->buffers;
     }
+    // Tracked backlogged op: the record's live->executing CAS arbitrates
+    // between the retry loop and cancel/timeout/purge. The resubmission must
+    // not create a second record for the same logical op.
+    std::shared_ptr<op_record_t> record;
+    if (wants_record(args)) record = make_record(r, args, op_kind_t::backlog);
+    capture->args.deadline_us = 0;
+    capture->args.out_op = nullptr;
     r.runtime->counters().add(counter_id_t::backlog_pushed);
     runtime_impl_t* runtime = r.runtime;
-    r.device->backlog().push([capture, runtime]() {
+    r.device->backlog().push([capture, runtime,
+                              record](backlog_action_t action) {
       // A backlogged operation may not throw out of the progress engine and
-      // may not vanish: a fatal resubmission failure is delivered through the
-      // completion object the user was promised (it used to be dropped).
-      try {
-        return post_comm_impl(capture->args);
-      } catch (const std::exception&) {
-        signal_comp(capture->args.local_comp.p,
-                    make_fatal_status(runtime, errorcode_t::fatal,
-                                      capture->args.rank, capture->args.tag,
-                                      capture->args.local_buffer,
-                                      capture->args.size,
-                                      capture->args.user_context));
-        status_t failed;
-        failed.error.code = errorcode_t::fatal;
+      // may not vanish: a fatal resubmission failure (or a cancel) is
+      // delivered through the completion object the user was promised.
+      if (record) {
+        uint8_t expected = op_record_t::st_live;
+        if (!record->state.compare_exchange_strong(
+                expected, op_record_t::st_executing,
+                std::memory_order_acq_rel)) {
+          // Canceled/timed out/purged while queued: the winner of that CAS
+          // already delivered the completion; just retire the entry.
+          status_t gone;
+          gone.error.code = errorcode_t::done;
+          return gone;
+        }
+      }
+      if (action == backlog_action_t::cancel) {
+        if (record)
+          record->state.store(op_record_t::st_terminal,
+                              std::memory_order_release);
+        const status_t failed = make_fatal_status(
+            runtime, errorcode_t::fatal_canceled, capture->args.rank,
+            capture->args.tag, capture->args.local_buffer,
+            payload_size(capture->args), capture->args.user_context);
+        signal_comp(capture->args.local_comp.p, failed);
         return failed;
       }
+      status_t st;
+      try {
+        st = post_comm_impl(capture->args);
+      } catch (const std::exception&) {
+        st = make_fatal_status(runtime, errorcode_t::fatal,
+                               capture->args.rank, capture->args.tag,
+                               capture->args.local_buffer,
+                               payload_size(capture->args),
+                               capture->args.user_context);
+      }
+      if (record)
+        record->state.store(st.error.is_retry() ? op_record_t::st_live
+                                                : op_record_t::st_terminal,
+                            std::memory_order_release);
+      // Fatal statuses are *returned* by the posting paths, never signaled
+      // there; the backlogged op promised completion through the comp.
+      if (st.error.is_fatal()) signal_comp(capture->args.local_comp.p, st);
+      return st;
     });
+    if (record) {
+      r.runtime->track_op(record);
+      if (args.out_op != nullptr) args.out_op->p = record;
+    }
     // Wake a sleeping progress thread: the backlog retry is the only way
     // this operation ever completes.
     r.device->ring_doorbell();

@@ -48,6 +48,19 @@ status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
                            tag_t tag, void* buffer, std::size_t size,
                            void* user_context) {
   runtime->counters().add(counter_id_t::comp_fatal);
+  switch (code) {
+    case errorcode_t::fatal_canceled:
+      runtime->counters().add(counter_id_t::ops_canceled);
+      break;
+    case errorcode_t::fatal_timeout:
+      runtime->counters().add(counter_id_t::ops_timed_out);
+      break;
+    case errorcode_t::fatal_peer_down:
+      runtime->counters().add(counter_id_t::peer_down_completions);
+      break;
+    default:
+      break;
+  }
   status_t status;
   status.error.code = code;
   status.rank = rank;
@@ -83,6 +96,9 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     // rendezvous on both sides.
     void* user_buffer = state.runtime_owned_buffer ? nullptr : state.buffer;
     if (state.runtime_owned_buffer) std::free(state.buffer);
+    if (state.record)
+      state.record->state.store(op_record_t::st_terminal,
+                                std::memory_order_release);
     signal_comp(state.comp,
                 make_fatal_status(runtime, errorcode_t::fatal_truncated,
                                   peer_rank, tag, user_buffer,
@@ -92,7 +108,14 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
         send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
     if (nack.error.is_retry()) {
       runtime->counters().add(counter_id_t::backlog_pushed);
-      device->backlog().push([device, peer_rank, rdv_id]() {
+      device->backlog().push([device, peer_rank, rdv_id](backlog_action_t a) {
+        if (a == backlog_action_t::cancel) {
+          // Nothing owed: the receive already failed; the sender's side is
+          // cleaned up by its own deadline or the dead-peer purge.
+          status_t s;
+          s.error.code = errorcode_t::done;
+          return s;
+        }
         return send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
       });
       device->ring_doorbell();
@@ -109,15 +132,35 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
   }
   state.mr = runtime->net_context().register_memory(state.buffer, state.size);
   const net::mr_id_t mr = state.mr;
+  std::shared_ptr<op_record_t> record = state.record;
   const uint32_t pending_id =
       runtime->pending_recvs().add(std::move(state));
+  if (record) {
+    // Re-home the tracked op: it now lives in pending_recvs under
+    // pending_id. A sweep racing this window sees the old kind with a null
+    // engine location and backs off; the next sweep finds the new home.
+    std::lock_guard<util::spinlock_t> guard(record->lock);
+    record->kind = op_kind_t::rdv_recv;
+    record->rdv_id = pending_id;
+    record->engine = nullptr;
+    record->entry = nullptr;
+  }
   const status_t status = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
   if (status.error.is_retry()) {
     // (8): the progress engine cannot keep retrying; push onto the backlog.
     LCI_LOG_(debug, "rank %d: RTR to %d backlogged (pending %u)",
              runtime->rank(), peer_rank, pending_id);
     runtime->counters().add(counter_id_t::backlog_pushed);
-    device->backlog().push([device, peer_rank, rdv_id, pending_id, mr]() {
+    device->backlog().push([runtime, device, peer_rank, rdv_id, pending_id,
+                            mr](backlog_action_t a) {
+      if (a == backlog_action_t::cancel) {
+        // The RTR was never sent, so no FIN will ever resolve the pending
+        // receive: complete it here (unless a purge/timeout already did).
+        fail_pending_recv(runtime, pending_id, errorcode_t::fatal_canceled);
+        status_t s;
+        s.error.code = errorcode_t::fatal_canceled;
+        return s;
+      }
       return send_rtr(device, peer_rank, rdv_id, pending_id, mr);
     });
     device->ring_doorbell();
@@ -150,6 +193,17 @@ void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
                                peer_rank, tag, entry->buffer, size,
                                entry->user_context);
   }
+  if (entry->record) {
+    // Clear the record's location before freeing the entry so a concurrent
+    // sweep can never act on (or collide with a reused allocation of) the
+    // entry pointer; the bucket removal that matched us already won the
+    // arbitration, so this is bookkeeping, not a race.
+    std::lock_guard<util::spinlock_t> guard(entry->record->lock);
+    entry->record->engine = nullptr;
+    entry->record->entry = nullptr;
+    entry->record->state.store(op_record_t::st_terminal,
+                               std::memory_order_release);
+  }
   if (signal) signal_comp(entry->comp, status);
   if (out_status != nullptr) *out_status = status;
   delete entry;
@@ -161,6 +215,13 @@ void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
 
 void device_impl_t::handle_recv(const net::cqe_t& cqe) {
   auto* packet = static_cast<packet_t*>(cqe.user_context);
+  if (net_device_->is_peer_down(cqe.peer_rank)) {
+    // The sender died after this message reached our CQ: evaporate it, as if
+    // it had been lost on the wire. Without this, traffic already queued
+    // locally could resurrect a dead peer's messages after the purge ran.
+    packet->pool->put(packet);
+    return;
+  }
   const auto* header = static_cast<const msg_header_t*>(cqe.buffer);
   const char* data =
       static_cast<const char*>(cqe.buffer) + sizeof(msg_header_t);
@@ -231,6 +292,15 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       state.comp = entry->comp;
       state.user_context = entry->user_context;
       state.list = std::move(entry->list);
+      state.record = std::move(entry->record);
+      if (state.record) {
+        // The receive is leaving the matching engine for the pending-recv
+        // table; blank its old location before the entry is freed (see
+        // complete_eager_recv for why this must precede the delete).
+        std::lock_guard<util::spinlock_t> guard(state.record->lock);
+        state.record->engine = nullptr;
+        state.record->entry = nullptr;
+      }
       delete entry;
       start_rendezvous_recv(runtime_, this, cqe.peer_rank, header->tag,
                             rts.rdv_id, rts.size, std::move(state));
@@ -260,8 +330,20 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       rtr_payload_t rtr;
       std::memcpy(&rtr, data, sizeof(rtr));
       rdv_send_t send;
-      if (!runtime_->pending_sends().take(rtr.rdv_id, &send))
-        throw fatal_error_t("RTR for an unknown rendezvous send");
+      if (!runtime_->pending_sends().take(rtr.rdv_id, &send)) {
+        // The send this RTR answers was canceled, timed out, or purged with
+        // its peer: the handshake is legitimately orphaned. Drop it. (This
+        // used to throw, which turned every canceled rendezvous into a
+        // crash when the answer eventually arrived.)
+        packet->pool->put(packet);
+        return;
+      }
+      // Taking the pending entry is the arbitration point: from here the
+      // write phase owns the completion and the handshake deadline is
+      // disarmed (deadlines cover the handshake, not the bulk transfer).
+      if (send.record)
+        send.record->state.store(op_record_t::st_terminal,
+                                 std::memory_order_release);
       if (rtr.mr_id == net::invalid_mr) {
         // Receiver refused the rendezvous (posted buffer too small). Fail
         // this send exactly once; the staged gather (if any) dies with
@@ -289,11 +371,23 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       const uint32_t imm = encode_fin_imm(rtr.pending_id);
       // Single owner of `staged` and `ctx` on every exit: retry keeps both
       // for the next attempt, done hands ctx to the write CQE and frees the
-      // gather, fatal frees both and delivers the error to the user's comp
-      // (this path used to leak ctx and drop the completion silently). Must
-      // not throw: the backlog queue retires whatever status comes back.
-      auto attempt = [this, peer, src, mr, imm, ctx, staged]() {
+      // gather, fatal (including peer death mid-handshake) and cancel free
+      // both and deliver the error to the user's comp (this path used to
+      // leak ctx and drop the completion silently). Must not throw: the
+      // backlog queue retires whatever status comes back.
+      auto attempt = [this, peer, src, mr, imm, ctx,
+                      staged](backlog_action_t action) {
         status_t status;
+        if (action == backlog_action_t::cancel) {
+          delete[] staged;
+          signal_comp(ctx->comp,
+                      make_fatal_status(runtime_, errorcode_t::fatal_canceled,
+                                        ctx->rank, ctx->tag, ctx->buffer,
+                                        ctx->size, ctx->user_context));
+          delete ctx;
+          status.error.code = errorcode_t::fatal_canceled;
+          return status;
+        }
         try {
           status.error = map_net_result(net_device_->post_write(
               peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
@@ -304,14 +398,14 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
         delete[] staged;
         if (!status.error.is_done()) {
           signal_comp(ctx->comp,
-                      make_fatal_status(runtime_, errorcode_t::fatal,
+                      make_fatal_status(runtime_, status.error.code,
                                         ctx->rank, ctx->tag, ctx->buffer,
                                         ctx->size, ctx->user_context));
           delete ctx;
         }
         return status;
       };
-      const status_t status = attempt();
+      const status_t status = attempt(backlog_action_t::run);
       if (status.error.is_retry()) {
         LCI_LOG_(debug, "rank %d: rendezvous write to %d backlogged",
                  runtime_->rank(), cqe.peer_rank);
@@ -355,7 +449,11 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
         rdv_recv_t state;
         if (!runtime_->pending_recvs().take(imm_fin_pending_id(cqe.imm),
                                             &state))
-          throw fatal_error_t("FIN for an unknown rendezvous receive");
+          return true;  // receive canceled/timed out/purged: orphaned FIN
+        // Taking the pending entry wins the completion; disarm the record.
+        if (state.record)
+          state.record->state.store(op_record_t::st_terminal,
+                                    std::memory_order_release);
         runtime_->net_context().deregister_memory(state.mr);
         status_t status;
         status.error.code = errorcode_t::done;
@@ -398,6 +496,11 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
 bool device_impl_t::progress() {
   runtime_->counters().add(counter_id_t::progress_calls);
   bool advanced = false;
+  // Failure lifecycle: react to newly dead peers (purge their queued state)
+  // and expire operation deadlines. Both are no-op cheap on the fast path —
+  // an epoch compare and an atomic next-deadline gate.
+  advanced |= runtime_->check_peer_failures(this);
+  advanced |= runtime_->deadline_sweep() > 0;
   // (3) Backlogged requests first: they are older than anything in the CQ.
   advanced |= backlog_.progress();
   // (4) Poll the device.

@@ -127,6 +127,13 @@ uint64_t runtime_impl_t::injected_faults() const {
   return total;
 }
 
+uint64_t runtime_impl_t::dropped_wire_messages() const {
+  std::lock_guard<util::spinlock_t> guard(device_lock_);
+  uint64_t total = 0;
+  for (device_impl_t* device : devices_) total += device->net().wire_dropped();
+  return total;
+}
+
 runtime_impl_t* resolve_runtime(runtime_t runtime) {
   if (runtime.p != nullptr) return runtime.p;
   runtime_t g = get_g_runtime();
@@ -152,6 +159,7 @@ counters_t get_counters(runtime_t runtime) {
   auto* rt = detail::resolve_runtime(runtime);
   counters_t c = rt->counters().snapshot();
   c.fault_injected = rt->injected_faults();
+  c.wire_dropped = rt->dropped_wire_messages();
   return c;
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -23,6 +24,22 @@
 
 namespace lci::detail {
 
+class device_impl_t;
+struct recv_entry_t;
+
+// Monotonic nanosecond clock used for operation deadlines.
+inline uint64_t now_ns() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// How a backlogged operation is being invoked: `run` retries the submission;
+// `cancel` tells the op it will never run again and must deliver
+// fatal_canceled to its own completion object (or report nothing owed).
+enum class backlog_action_t : uint8_t { run, cancel };
+
 // ---------------------------------------------------------------------------
 // Backlog queue (paper Sec. 4.1.5): holds communication requests that could
 // not be submitted and cannot be bounced back to the user. Rarely used, so a
@@ -34,8 +51,10 @@ class backlog_queue_t {
   // A backlogged operation: returns a status; retry-category => stay queued.
   // Done/posted/fatal all retire the entry — an op that can fail fatally
   // must deliver that error to its completion object itself (the queue has
-  // no idea who to tell), and must not throw.
-  using op_t = std::function<status_t()>;
+  // no idea who to tell), and must not throw. Invoked with `cancel` (by
+  // drain_abort) the op must not touch the network; it delivers
+  // fatal_canceled itself and returns a non-retry status.
+  using op_t = std::function<status_t(backlog_action_t)>;
 
   // Optional statistics sink: the owning device points this at its
   // runtime's counter block so pushes, retries, retirements, and the depth
@@ -70,7 +89,7 @@ class backlog_queue_t {
         op = std::move(queue_.front());
         queue_.pop_front();
       }
-      const status_t status = op();
+      const status_t status = op(backlog_action_t::run);
       if (status.error.is_retry()) {
         if (counters_ != nullptr)
           counters_->add(counter_id_t::backlog_retries);
@@ -81,6 +100,24 @@ class backlog_queue_t {
       if (counters_ != nullptr) counters_->add(counter_id_t::backlog_retired);
       advanced = true;
     }
+  }
+
+  // Pops every queued operation and invokes it with `cancel`; each op
+  // delivers fatal_canceled to its own completion object. Returns the number
+  // of entries aborted. Only safe while no other thread can run progress()
+  // on this queue (drain() calls it under progress-pause quiescence).
+  std::size_t drain_abort() {
+    std::deque<op_t> taken;
+    {
+      std::lock_guard<util::spinlock_t> guard(lock_);
+      taken.swap(queue_);
+      nonempty_.store(false, std::memory_order_release);
+    }
+    for (auto& op : taken) {
+      op(backlog_action_t::cancel);
+      if (counters_ != nullptr) counters_->add(counter_id_t::backlog_retired);
+    }
+    return taken.size();
   }
 
   std::size_t size_approx() const {
@@ -109,6 +146,8 @@ struct rdv_send_t {
   // Buffer-list sends stage a gathered copy here (see DESIGN.md: the
   // simulated fabric transfers one contiguous region per RDMA write).
   std::unique_ptr<char[]> staged;
+  // Set when the op carries a deadline or a user handle (see op_record_t).
+  std::shared_ptr<op_record_t> record;
 };
 
 struct rdv_recv_t {
@@ -123,6 +162,9 @@ struct rdv_recv_t {
   // Buffer-list receives land in `buffer` (runtime staging) and scatter into
   // `list` at FIN.
   std::vector<buffer_t> list;
+  // Carried over from the posted receive's record (if any) when the RTS
+  // matches, so cancel/timeout can still find the op in its new home.
+  std::shared_ptr<op_record_t> record;
 };
 
 template <typename T>
@@ -146,6 +188,24 @@ class pending_table_t {
     std::lock_guard<util::spinlock_t> guard(lock_);
     return map_.size();
   }
+  // Removes every entry the predicate claims and moves it to `out`; the
+  // caller then owns those handshakes exclusively (the table lock is the
+  // arbitration point between the dead-peer purge and the RTR/FIN handlers).
+  template <typename Pred>
+  std::size_t take_if(Pred&& pred, std::vector<T>& out) {
+    std::lock_guard<util::spinlock_t> guard(lock_);
+    std::size_t taken = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->second)) {
+        out.push_back(std::move(it->second));
+        it = map_.erase(it);
+        ++taken;
+      } else {
+        ++it;
+      }
+    }
+    return taken;
+  }
 
  private:
   mutable util::spinlock_t lock_;
@@ -162,6 +222,55 @@ struct recv_entry_t {
   int rank = -1;  // as posted (may be wildcarded by policy)
   tag_t tag = 0;
   std::vector<buffer_t> list;  // buffer-list receive (empty: single buffer)
+  // Set when the op carries a deadline or a user handle (see op_record_t).
+  std::shared_ptr<op_record_t> record;
+};
+
+// ---------------------------------------------------------------------------
+// Tracked-operation records (failure lifecycle: deadline, cancel, drain).
+//
+// A record is created only for ops that asked for one (.deadline(us) or
+// .op_handle(&op)), so the common posting path pays nothing. The record
+// names where the op currently lives; completion ownership is decided at the
+// op's *arbitration point* — the matching-engine bucket lock for queued
+// receives, the pending-table take() for rendezvous handshakes, the
+// live->executing state CAS for backlogged submissions — never by the record
+// alone, so an op completes exactly once no matter how many of {match,
+// cancel(), deadline sweep, dead-peer purge} race for it.
+// ---------------------------------------------------------------------------
+enum class op_kind_t : uint8_t { recv, rdv_send, rdv_recv, backlog };
+
+struct op_record_t {
+  static constexpr uint8_t st_live = 0;
+  static constexpr uint8_t st_executing = 1;  // backlog op mid-submission
+  static constexpr uint8_t st_terminal = 2;   // completion delivered/forfeit
+  std::atomic<uint8_t> state{st_live};
+
+  // Guards the location fields (kind/engine/key/entry/rdv_id) across the
+  // recv -> rdv_recv conversion that happens when an RTS matches a tracked
+  // receive. Never held while taking a bucket or pending-table lock's
+  // *owner* path — the lock order record -> arbitration point is safe
+  // because the matching paths never lock the record at all.
+  util::spinlock_t lock;
+  op_kind_t kind = op_kind_t::recv;
+
+  runtime_impl_t* runtime = nullptr;
+  device_impl_t* device = nullptr;
+  // recv kind: where the entry is queued.
+  matching_engine_impl_t* engine = nullptr;
+  matching_engine_impl_t::key_t key = 0;
+  recv_entry_t* entry = nullptr;
+  // rdv kinds: pending-table id (0 = not assigned yet).
+  uint32_t rdv_id = 0;
+
+  // Completion identity, so cancel/timeout can build the fatal status.
+  comp_impl_t* comp = nullptr;
+  void* user_context = nullptr;
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  int rank = -1;
+  tag_t tag = 0;
+  uint64_t deadline_ns = 0;  // 0 = no deadline (tracked for cancel only)
 };
 
 // Context attached to network operations so completions can be dispatched.
@@ -284,7 +393,8 @@ class runtime_impl_t {
       }
     }
   }
-  uint64_t injected_faults() const;  // defined in runtime.cpp
+  uint64_t injected_faults() const;        // defined in runtime.cpp
+  uint64_t dropped_wire_messages() const;  // defined in runtime.cpp
 
   // Auto-progress engine (lazy: created on the first attach so runtimes that
   // never opt in pay nothing — no threads, no doorbell wiring). Defined in
@@ -295,7 +405,30 @@ class runtime_impl_t {
     return progress_engine_.get();
   }
 
+  // --- Failure lifecycle (defined in failure.cpp) ---------------------------
+  net::fabric_t& fabric() noexcept { return *fabric_; }
+  // Registers a record so the deadline sweep / drain can find it.
+  void track_op(std::shared_ptr<op_record_t> record);
+  // Completes a live tracked op with `code` if this caller wins the op's
+  // arbitration point; returns true iff the completion was delivered here.
+  bool finish_tracked_op(const std::shared_ptr<op_record_t>& record,
+                         errorcode_t code);
+  // Completes tracked ops whose deadline passed; returns how many.
+  std::size_t deadline_sweep();
+  // Compares the device's death epoch against the last one this runtime
+  // handled; on a bump, purges matching-engine entries, pending rendezvous
+  // handshakes, and tracked ops naming each newly dead peer. Returns true if
+  // anything was purged. Called from every progress path; cheap when no
+  // epoch changed.
+  bool check_peer_failures(device_impl_t* device);
+  // drain(): cooperative progress then force-kill; returns ops killed.
+  std::size_t drain_device(device_impl_t* device, uint64_t timeout_us);
+
  private:
+  std::size_t purge_dead_peer(int peer, bool everything);
+  std::size_t force_kill_tracked(errorcode_t code);
+
+ public:
   const runtime_attr_t attr_;
   std::shared_ptr<net::fabric_t> fabric_;
   std::unique_ptr<net::context_t> net_context_;
@@ -333,6 +466,16 @@ class runtime_impl_t {
 
   std::atomic<uint32_t> coll_seq_{0};
   detail::counter_block_t counters_;
+
+  // Failure lifecycle state. tracked_count_ lets the sweep return without
+  // touching op_lock_ in the (overwhelmingly common) no-tracked-ops case.
+  util::spinlock_t op_lock_;
+  std::vector<std::shared_ptr<op_record_t>> tracked_ops_;  // guarded by op_lock_
+  std::atomic<std::size_t> tracked_count_{0};
+  std::atomic<uint64_t> death_epoch_seen_{0};
+  util::spinlock_t purge_lock_;       // serializes dead-peer purges
+  std::vector<char> peer_purged_;     // guarded by purge_lock_
+  std::atomic<uint64_t> next_deadline_ns_{UINT64_MAX};  // sweep fast-path gate
 };
 
 // Resolves optional-argument defaults for the posting/progress paths.
@@ -358,9 +501,26 @@ inline error_t map_net_result(net::post_result_t result) {
       return error_t{errorcode_t::retry_nomem};
     case net::post_result_t::retry_nobuf:
       return error_t{errorcode_t::retry_nopacket};
+    case net::post_result_t::peer_down:
+      return error_t{errorcode_t::fatal_peer_down};
   }
   return error_t{errorcode_t::retry};
 }
+
+// Takes a pending rendezvous handshake out of its table and completes it
+// with `code` (deregistering MRs / freeing staging as needed). Returns false
+// when the id was already consumed — the RTR/FIN/purge path that took it
+// owns the completion. Defined in failure.cpp.
+bool fail_pending_send(runtime_impl_t* runtime, uint32_t rdv_id,
+                       errorcode_t code);
+bool fail_pending_recv(runtime_impl_t* runtime, uint32_t pending_id,
+                       errorcode_t code);
+// Completes an already-taken handshake (shared by the fail_* helpers and the
+// dead-peer purge, which batch-takes via take_if). Marks the record terminal.
+void finish_failed_send(runtime_impl_t* runtime, rdv_send_t& send,
+                        errorcode_t code);
+void finish_failed_recv(runtime_impl_t* runtime, rdv_recv_t& recv,
+                        errorcode_t code);
 
 // Sends the RTR handshake for a matched rendezvous. Returns done/retry.
 status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
@@ -383,8 +543,10 @@ void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
                          int peer_rank, tag_t tag, const char* data,
                          std::size_t size, status_t* out_status, bool signal);
 
-// Builds the status delivered with a fatal completion and bumps the
-// comp_fatal counter. Shared by the truncation/backlog/RTR failure paths.
+// Builds the status delivered with a fatal completion and bumps comp_fatal
+// plus the per-code failure counter (ops_canceled / ops_timed_out /
+// peer_down_completions). Every fatal completion and every fatal status
+// returned by a posting path goes through here, so those counters are exact.
 status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
                            tag_t tag, void* buffer, std::size_t size,
                            void* user_context);

@@ -32,18 +32,24 @@ enum class backend_t { lci, mpi, mpix, gex };
 const char* to_string(backend_t backend);
 backend_t backend_from_string(const std::string& name);
 
-// Completion record returned by the polling calls.
+// Completion record returned by the polling calls. `failed` marks an
+// operation the backend terminated with a fatal error (peer death,
+// cancellation, deadline) instead of completing normally; the buffer is
+// returned to the caller but holds no delivered data.
 struct request_t {
   int rank = -1;
   int tag = 0;
   void* buffer = nullptr;
   std::size_t size = 0;
+  bool failed = false;
 };
 
 // Posting result: retry = resubmit later; done = completed immediately (the
 // buffer is reusable, no completion will be reported); posted = a completion
-// will appear on the send queue.
-enum class post_t { retry, done, posted };
+// will appear on the send queue; failed = the operation can never complete
+// (the destination is dead, or the backend raised a fatal error) — the buffer
+// is back in the caller's hands and resubmitting would fail again.
+enum class post_t { retry, done, posted, failed };
 
 class device_t {
  public:

@@ -69,19 +69,22 @@ class lci_device_t final : public device_t {
   static post_t map(const lci::status_t& status) {
     if (status.error.is_done()) return post_t::done;
     if (status.error.is_posted()) return post_t::posted;
-    if (status.error.is_fatal())
-      // LCW's ternary result has no error arm; retry would loop forever.
-      throw lci::fatal_error_t("LCI operation failed fatally");
+    // Fatal statuses (dead peer, cancellation, deadline) map to `failed` so
+    // callers' retry loops terminate instead of spinning on a dead rank.
+    if (status.error.is_fatal()) return post_t::failed;
     return post_t::retry;
   }
 
   static bool pop(lci::comp_t cq, request_t* out) {
     const lci::status_t status = lci::cq_pop(cq);
-    if (!status.error.is_done()) return false;
+    // Fatal completions (peer death, cancel, deadline) are completions too:
+    // they hand the buffer back and must drain, not vanish.
+    if (!status.error.is_done() && !status.error.is_fatal()) return false;
     out->rank = status.rank;
     out->tag = static_cast<int>(status.tag);
     out->buffer = status.buffer.base;
     out->size = status.buffer.size;
+    out->failed = status.error.is_fatal();
     return true;
   }
 

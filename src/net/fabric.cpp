@@ -21,6 +21,14 @@ sim_fabric_t::sim_fabric_t(int nranks, const config_t& config)
   ranks_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     ranks_.push_back(std::make_unique<rank_state_t>());
+  const fault_config_t& fault = config_.fault;
+  if (fault.kill_rank >= 0 && fault.kill_rank < nranks &&
+      fault.kill_after_ops == 0) {
+    // Dead from the start: no devices exist yet, so no doorbells to ring.
+    ranks_[static_cast<std::size_t>(fault.kill_rank)]->dead.store(
+        true, std::memory_order_release);
+    death_epoch_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 sim_fabric_t::~sim_fabric_t() = default;
@@ -81,6 +89,42 @@ sim_device_t* sim_fabric_t::route(int rank, int context,
     if (sim_device_t* d = devices.get((start + k) % n)) return d;
   }
   return nullptr;
+}
+
+bool sim_fabric_t::kill_rank(int rank) {
+  if (rank < 0 || rank >= nranks_) return false;
+  rank_state_t& victim = *ranks_[static_cast<std::size_t>(rank)];
+  bool expected = false;
+  if (!victim.dead.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel))
+    return false;  // already dead
+  death_epoch_.fetch_add(1, std::memory_order_release);
+  // Wake every live device: sleeping progress engines must notice the epoch
+  // bump and run the dead-peer purge. The pin keeps each rank's devices (and
+  // their doorbells) alive across the ring, exactly like a send path would.
+  for (int r = 0; r < nranks_; ++r) {
+    rank_state_t& state = *ranks_[static_cast<std::size_t>(r)];
+    auto pin = pin_route(r);
+    const std::size_t ncontexts = state.contexts.size();
+    for (std::size_t c = 0; c < ncontexts; ++c) {
+      const context_devices_t* slot = state.contexts.get(c);
+      if (slot == nullptr) continue;
+      const std::size_t n = slot->devices.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sim_device_t* d = slot->devices.get(i)) d->ring_doorbell();
+      }
+    }
+  }
+  return true;
+}
+
+void sim_fabric_t::note_post(int rank) {
+  const fault_config_t& fault = config_.fault;
+  if (fault.kill_rank != rank) return;
+  if (is_dead(rank)) return;
+  if (kill_ops_posted_.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+      fault.kill_after_ops)
+    kill_rank(rank);
 }
 
 uint64_t sim_fabric_t::ready_time_ns(std::size_t size) const {

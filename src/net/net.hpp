@@ -59,7 +59,14 @@ enum class td_strategy_t : uint8_t { per_qp, all_qp, none };
 //    retry_full under modest traffic,
 //  * delay_rate / delay_polls — hold a wire message back for a number of
 //    delivery attempts (per-sender FIFO order is preserved, so this models
-//    slow links at the completion-visibility level, not reordering).
+//    slow links at the completion-visibility level, not reordering),
+//  * kill_rank / kill_after_ops — deterministic peer death: once the doomed
+//    rank's devices have completed kill_after_ops successful posts (0 = dead
+//    from the start), the rank dies fabric-wide. Posts naming it (and posts
+//    it makes) return peer_down, and messages already queued to or from it
+//    evaporate as silent wire drops,
+//  * loss_rate — per-message probability that a wire push is accepted but the
+//    message silently evaporates (models a lossy link; the sender sees ok).
 //
 // Each device derives its RNG stream from (seed, rank, context, device
 // index), so a single-threaded replay is bit-reproducible; multithreaded
@@ -76,10 +83,16 @@ struct fault_config_t {
   std::size_t wire_depth = 0;  // 0 = use config_t::wire_depth
   double delay_rate = 0.0;     // [0,1] per-message delivery-delay probability
   uint32_t delay_polls = 4;    // delivery attempts a delayed message skips
+  // Peer-death schedule: rank to kill (-1 = nobody) and the number of
+  // successful posts its devices complete before dying (0 = dead at start).
+  int kill_rank = -1;
+  uint64_t kill_after_ops = 0;
+  // Silent wire-drop probability per message (the sender still sees ok).
+  double loss_rate = 0.0;
 
   bool enabled() const {
     return retry_rate > 0.0 || send_depth != 0 || wire_depth != 0 ||
-           delay_rate > 0.0;
+           delay_rate > 0.0 || kill_rank >= 0 || loss_rate > 0.0;
   }
 };
 
@@ -126,7 +139,8 @@ enum class post_result_t : uint8_t {
   ok,
   retry_lock,  // try-lock wrapper missed (Sec. 4.2.2)
   retry_full,  // send queue / wire mailbox full
-  retry_nobuf  // no pre-posted receive available (only from post paths)
+  retry_nobuf, // no pre-posted receive available (only from post paths)
+  peer_down    // the named peer (or this rank itself) is dead — never retry
 };
 
 struct cqe_t {
@@ -171,6 +185,17 @@ class device_t {
   // Retries forced by the fault-injection policy on this device (0 when
   // injection is off or the backend does not support it).
   virtual uint64_t injected_faults() const { return 0; }
+  // Peer-failure reporting. is_peer_down answers for a specific rank;
+  // death_epoch is a fabric-wide counter bumped on every kill, letting owners
+  // detect "somebody died since I last looked" with one relaxed load.
+  virtual bool is_peer_down(int rank) const {
+    (void)rank;
+    return false;
+  }
+  virtual uint64_t death_epoch() const { return 0; }
+  // Wire messages that evaporated at this device (loss_rate drops plus
+  // messages discarded because an endpoint was dead).
+  virtual uint64_t wire_dropped() const { return 0; }
 
   // Registers (nullptr: clears) the wakeup doorbell. The doorbell must
   // outlive the device or be cleared before it dies; backends without wakeup
@@ -197,6 +222,12 @@ class fabric_t {
   virtual int nranks() const = 0;
   virtual const config_t& config() const = 0;
   virtual std::unique_ptr<context_t> create_context(int rank) = 0;
+  // Test hook: kills a rank at runtime, independent of the kill schedule.
+  // Returns false if the backend cannot (or the rank is already dead).
+  virtual bool kill_rank(int rank) {
+    (void)rank;
+    return false;
+  }
 };
 
 // Factory for the simulated fabric.

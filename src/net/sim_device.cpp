@@ -75,6 +75,7 @@ util::try_lock_wrapper_t::guard_t sim_device_t::acquire_send_lock(
 
 post_result_t sim_device_t::post_recv(void* buffer, std::size_t size,
                                       void* user_context) {
+  if (fabric_->is_dead(rank_)) return post_result_t::peer_down;
   const bool ofi = fabric_->config().lock_model == lock_model_t::ofi;
   auto guard = ofi ? ep_lock_.guard() : srq_lock_.guard();
   if (!guard) return post_result_t::retry_lock;
@@ -89,6 +90,8 @@ post_result_t sim_device_t::post_recv(void* buffer, std::size_t size,
 post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
                                       std::size_t size, uint32_t imm,
                                       void* user_context) {
+  if (fabric_->is_dead(rank_) || fabric_->is_dead(peer_rank))
+    return post_result_t::peer_down;
   if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
     return fault;
   auto guard = acquire_send_lock(peer_rank);
@@ -120,6 +123,7 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
   // Local completion: the source buffer was copied onto the wire, so it is
   // immediately reusable (RDMA send semantics).
   cq_.push(cqe_t{op_t::send, peer_rank, imm, size, nullptr, user_context});
+  fabric_->note_post(rank_);
   return post_result_t::ok;
 }
 
@@ -127,6 +131,8 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
                                        std::size_t size, mr_id_t remote_mr,
                                        std::size_t remote_offset, bool notify,
                                        uint32_t imm, void* user_context) {
+  if (fabric_->is_dead(rank_) || fabric_->is_dead(peer_rank))
+    return post_result_t::peer_down;
   if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
     return fault;
   auto guard = acquire_send_lock(peer_rank);
@@ -164,6 +170,7 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
   // progress engine on this very device would otherwise only notice it at
   // the bounded-sleep timeout.
   ring_doorbell();
+  fabric_->note_post(rank_);
   return post_result_t::ok;
 }
 
@@ -171,6 +178,8 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
                                       std::size_t size, mr_id_t remote_mr,
                                       std::size_t remote_offset, bool notify,
                                       uint32_t imm, void* user_context) {
+  if (fabric_->is_dead(rank_) || fabric_->is_dead(peer_rank))
+    return post_result_t::peer_down;
   if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
     return fault;
   auto guard = acquire_send_lock(peer_rank);
@@ -207,12 +216,33 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
   }
   cq_.push(cqe_t{op_t::read, peer_rank, imm, size, nullptr, user_context});
   ring_doorbell();
+  fabric_->note_post(rank_);
   return post_result_t::ok;
 }
 
 bool sim_device_t::wire_push(wire_msg_t msg) {
+  // A dead target evaporates everything pushed at it. The sender normally
+  // checks liveness before routing here; this catches the race with a
+  // concurrent kill. Report success — from the wire's point of view the
+  // message was accepted, it just never arrives.
+  if (fabric_->is_dead(rank_)) {
+    wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   if (wire_.size_approx() >= effective_wire_depth()) return false;
   const fault_config_t& fault = fabric_->config().fault;
+  if (fault.loss_rate > 0.0) {
+    // Silent drop rides the target device's RNG stream, like delivery delay.
+    bool lost;
+    {
+      std::lock_guard<util::spinlock_t> guard(fault_lock_);
+      lost = fault_rng_.uniform() < fault.loss_rate;
+    }
+    if (lost) {
+      wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
   if (fault.delay_rate > 0.0) {
     // Delivery delay rides the target device's RNG stream (the decision is
     // "the wire is slow getting this to the target").
@@ -274,6 +304,12 @@ void sim_device_t::deliver_from_wire() {
   std::size_t delivered = 0;
   // Messages stalled earlier on receiver-not-ready go first (they are older).
   while (!rnr_stash_.empty() && delivered < burst) {
+    if (fabric_->is_dead(rnr_stash_.front().src_rank)) {
+      // The sender died while this message waited: it evaporates.
+      wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      rnr_stash_.pop_front();
+      continue;
+    }
     if (!deliver_one(rnr_stash_.front())) return;
     rnr_stash_.pop_front();
     ++delivered;
@@ -281,6 +317,10 @@ void sim_device_t::deliver_from_wire() {
   while (delivered < burst) {
     auto msg = wire_.try_pop();
     if (!msg) break;
+    if (fabric_->is_dead(msg->src_rank)) {
+      wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (!deliver_one(*msg)) {
       rnr_stash_.push_back(std::move(*msg));
       break;
@@ -293,6 +333,15 @@ poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
   const bool ofi = fabric_->config().lock_model == lock_model_t::ofi;
   auto guard = ofi ? ep_lock_.guard() : cq_lock_.guard();
   if (!guard) return poll_result_t{0, true};
+  if (fabric_->is_dead(rank_)) {
+    // A dead rank observes nothing: everything queued at it evaporates.
+    while (auto msg = wire_.try_pop())
+      wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    rnr_stash_.clear();
+    while (cq_.try_pop()) {
+    }
+    return poll_result_t{0, false};
+  }
   deliver_from_wire();
   std::size_t count = 0;
   while (count < max) {
@@ -302,5 +351,11 @@ poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
   }
   return poll_result_t{count, false};
 }
+
+bool sim_device_t::is_peer_down(int rank) const {
+  return rank >= 0 && rank < fabric_->nranks() && fabric_->is_dead(rank);
+}
+
+uint64_t sim_device_t::death_epoch() const { return fabric_->death_epoch(); }
 
 }  // namespace lci::net::detail

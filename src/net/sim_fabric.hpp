@@ -90,6 +90,11 @@ class sim_device_t final : public device_t {
   uint64_t injected_faults() const override {
     return injected_faults_.load(std::memory_order_relaxed);
   }
+  bool is_peer_down(int rank) const override;
+  uint64_t death_epoch() const override;
+  uint64_t wire_dropped() const override {
+    return wire_dropped_.load(std::memory_order_relaxed);
+  }
   void set_doorbell(doorbell_t* doorbell) override {
     doorbell_.store(doorbell, std::memory_order_release);
   }
@@ -139,6 +144,7 @@ class sim_device_t final : public device_t {
   util::spinlock_t fault_lock_;
   util::xoshiro256_t fault_rng_;
   std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<uint64_t> wire_dropped_{0};
 
   util::spinlock_t srq_inner_lock_;
   std::deque<prepost_t> srq_;
@@ -183,6 +189,20 @@ class sim_fabric_t final : public fabric_t,
   int nranks() const override { return nranks_; }
   const config_t& config() const override { return config_; }
   std::unique_ptr<context_t> create_context(int rank) override;
+  // Peer death. kill_rank marks the rank dead (idempotent; also the
+  // kill_after_ops trigger), bumps the fabric-wide death epoch and rings every
+  // live device's doorbell so sleeping progress engines wake up and purge.
+  bool kill_rank(int rank) override;
+  bool is_dead(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)]->dead.load(
+        std::memory_order_acquire);
+  }
+  uint64_t death_epoch() const {
+    return death_epoch_.load(std::memory_order_acquire);
+  }
+  // Kill schedule bookkeeping: called by a device after each successful post;
+  // the kill_rank dies once its devices complete kill_after_ops posts.
+  void note_post(int rank);
 
   // Device registry, scoped by context index (connection namespace).
   int register_device(int rank, int context, sim_device_t* device);
@@ -235,6 +255,7 @@ class sim_fabric_t final : public fabric_t,
     util::mpmc_array_t<sim_device_t*> devices{8};
   };
   struct rank_state_t {
+    std::atomic<bool> dead{false};   // set once by kill_rank, never cleared
     std::atomic<int> route_pins{0};  // peers inside route() -> push -> ring
     util::mpmc_array_t<context_devices_t*> contexts{8};
     util::spinlock_t context_lock;
@@ -250,6 +271,8 @@ class sim_fabric_t final : public fabric_t,
   const config_t config_;
   std::vector<std::unique_ptr<rank_state_t>> ranks_;
   util::spinlock_t uuar_lock_;
+  std::atomic<uint64_t> death_epoch_{0};
+  std::atomic<uint64_t> kill_ops_posted_{0};  // kill schedule progress
 };
 
 }  // namespace lci::net::detail

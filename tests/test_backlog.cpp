@@ -28,7 +28,7 @@ TEST(Backlog, RetiresInOrder) {
   backlog_queue_t backlog;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    backlog.push([&order, i] {
+    backlog.push([&order, i](lci::detail::backlog_action_t) {
       order.push_back(i);
       return make(lci::errorcode_t::done);
     });
@@ -44,12 +44,12 @@ TEST(Backlog, RetryStopsTheDrainAndStaysAtTheFront) {
   backlog_queue_t backlog;
   int first_attempts = 0;
   bool second_ran = false;
-  backlog.push([&] {
+  backlog.push([&](lci::detail::backlog_action_t) {
     ++first_attempts;
     return make(first_attempts < 3 ? lci::errorcode_t::retry_nomem
                                    : lci::errorcode_t::done);
   });
-  backlog.push([&] {
+  backlog.push([&](lci::detail::backlog_action_t) {
     second_ran = true;
     return make(lci::errorcode_t::done);
   });
@@ -66,9 +66,31 @@ TEST(Backlog, RetryStopsTheDrainAndStaysAtTheFront) {
 
 TEST(Backlog, PostedCountsAsRetired) {
   backlog_queue_t backlog;
-  backlog.push([] { return make(lci::errorcode_t::posted); });
+  backlog.push([](lci::detail::backlog_action_t) {
+    return make(lci::errorcode_t::posted);
+  });
   EXPECT_TRUE(backlog.progress());
   EXPECT_EQ(backlog.size_approx(), 0u);
+}
+
+TEST(Backlog, DrainAbortCancelsEveryEntryWithoutRunningIt) {
+  backlog_queue_t backlog;
+  int ran = 0, canceled = 0;
+  for (int i = 0; i < 4; ++i) {
+    backlog.push([&](lci::detail::backlog_action_t action) {
+      if (action == lci::detail::backlog_action_t::cancel) {
+        ++canceled;
+        return make(lci::errorcode_t::fatal_canceled);
+      }
+      ++ran;
+      return make(lci::errorcode_t::done);
+    });
+  }
+  EXPECT_EQ(backlog.drain_abort(), 4u);
+  EXPECT_EQ(canceled, 4);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(backlog.size_approx(), 0u);
+  EXPECT_FALSE(backlog.progress());
 }
 
 TEST(Backlog, ConcurrentPushersAllRetire) {
@@ -79,7 +101,7 @@ TEST(Backlog, ConcurrentPushersAllRetire) {
   for (int t = 0; t < pushers; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < per; ++i) {
-        backlog.push([&retired] {
+        backlog.push([&retired](lci::detail::backlog_action_t) {
           retired.fetch_add(1);
           return make(lci::errorcode_t::done);
         });

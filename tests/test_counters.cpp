@@ -2,6 +2,9 @@
 // reflect exactly what the traffic did.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/lci.hpp"
@@ -140,6 +143,109 @@ TEST(Counters, ResetClearsEverything) {
     EXPECT_EQ(lci::get_counters().send_inject, 0u);
     lci::g_runtime_fina();
   });
+}
+
+// Failure-lifecycle counters must be exact, not lower bounds: a seeded kill
+// schedule (rank 1 dies on its 5th successful net post) plus one cancel()
+// and one expired deadline produce known deltas. Rank 0 never calls
+// progress() until rank 1 is dead, so all five wire messages from the dying
+// rank evaporate at delivery — wire_dropped is exact too.
+TEST(Counters, FailureDeltasFromSeededKillSchedule) {
+  lci::net::config_t net_config;
+  net_config.fault.kill_rank = 1;
+  net_config.fault.kill_after_ops = 5;  // preposts don't count: 5 sends
+  net_config.fault.seed = 0xc0ffeeull;
+  std::atomic<int> finished{0};
+  lci::sim::spawn(
+      2,
+      [&](int rank) {
+        lci::g_runtime_init(small_attr());
+        if (rank == 1) {
+          // Five inject sends; the fifth trips the kill schedule. Inject
+          // completes locally (done), so no completion object is needed.
+          char byte = 'k';
+          for (int i = 0; i < 5; ++i) {
+            lci::status_t ss;
+            do {
+              ss = lci::post_send(0, &byte, 1, 7, {});
+            } while (ss.error.is_retry());
+          }
+        } else {
+          lci::reset_counters();
+          lci::comp_t cq = lci::alloc_cq();
+          char bufs[2][8];
+          // Two receives naming the rank that is about to die. If it is
+          // already dead they fail at the post (returned status); otherwise
+          // they park and the purge completes them. Both paths run through
+          // make_fatal_status, so peer_down_completions is 2 either way.
+          int posted = 0;
+          for (auto& buf : bufs) {
+            const lci::status_t rs =
+                lci::post_recv_x(1, buf, sizeof(buf), 8, cq)
+                    .allow_done(false)();
+            if (rs.error.is_posted()) ++posted;
+          }
+          // A parked self-receive to cancel (tag nobody sends on).
+          char cbuf[8];
+          lci::op_t cop;
+          const lci::status_t cs =
+              lci::post_recv_x(0, cbuf, sizeof(cbuf), 9, cq)
+                  .op_handle(&cop)
+                  .allow_done(false)();
+          ASSERT_TRUE(cs.error.is_posted());
+          EXPECT_TRUE(lci::cancel(cop));
+          ++posted;  // the cancellation completes through the CQ
+          // A self-receive with a deadline nobody will meet.
+          char tbuf[8];
+          lci::comp_t tsync = lci::alloc_sync(1);
+          const lci::status_t ts =
+              lci::post_recv_x(0, tbuf, sizeof(tbuf), 10, tsync)
+                  .deadline(1500)
+                  .allow_done(false)();
+          ASSERT_TRUE(ts.error.is_posted());
+
+          // Wait for the death without progressing (fabric state, not
+          // wire traffic), then let the deadline lapse.
+          while (lci::get_attr(lci::device_t{}).dead_peers.empty())
+            std::this_thread::yield();
+          std::this_thread::sleep_for(std::chrono::milliseconds(3));
+
+          // First progress: the purge fails any parked recvs naming rank 1,
+          // the sweep expires the deadline, and delivery drops the five
+          // wire messages from the dead sender.
+          int canceled = 0, down = 0;
+          while (posted > 0) {
+            lci::progress();
+            const lci::status_t st = lci::cq_pop(cq);
+            if (st.error.is_retry()) continue;
+            --posted;
+            if (st.error.code == lci::errorcode_t::fatal_canceled) ++canceled;
+            if (st.error.code == lci::errorcode_t::fatal_peer_down) ++down;
+          }
+          lci::status_t tstat;
+          lci::sync_wait(tsync, &tstat);
+          EXPECT_EQ(tstat.error.code, lci::errorcode_t::fatal_timeout);
+          while (lci::get_attr(lci::device_t{}).wire_dropped < 5)
+            lci::progress();
+
+          EXPECT_EQ(canceled, 1);
+          const lci::counters_t c = lci::get_counters();
+          EXPECT_EQ(c.ops_canceled, 1u);
+          EXPECT_EQ(c.ops_timed_out, 1u);
+          EXPECT_EQ(c.peer_down_completions, 2u);
+          EXPECT_EQ(c.comp_fatal, 4u);
+          EXPECT_EQ(lci::get_attr(lci::device_t{}).wire_dropped, 5u);
+          lci::free_comp(&tsync);
+          lci::free_comp(&cq);
+        }
+        finished.fetch_add(1, std::memory_order_release);
+        while (finished.load(std::memory_order_acquire) < 2) {
+          lci::progress();
+          std::this_thread::yield();
+        }
+        lci::g_runtime_fina();
+      },
+      net_config);
 }
 
 TEST(Counters, RetryAndBacklogAreCounted) {

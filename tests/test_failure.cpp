@@ -1,0 +1,432 @@
+// Failure-lifecycle tests (docs/INTERNALS.md "Failure propagation & drain"):
+//  * cancel(): a parked receive completes exactly once with fatal_canceled;
+//    cancel after completion refuses,
+//  * deadlines: an expired .deadline(us) completes the operation exactly once
+//    with fatal_timeout; a completed operation never times out retroactively,
+//  * peer death: a seeded mid-traffic kill of rank 1 (2/4/8 ranks, eager and
+//    rendezvous sizes, worker-polled and auto-progress modes) completes every
+//    operation naming the dead rank exactly once with fatal_peer_down — no
+//    hangs, no double completions,
+//  * kill_peer(): the runtime hook behaves like the schedule, and posts
+//    naming a dead rank fail fast with a returned (not thrown) fatal status,
+//  * drain(): force-cancels parked tracked operations and reports the count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/lci.hpp"
+
+namespace {
+
+lci::runtime_attr_t small_attr() {
+  lci::runtime_attr_t attr;
+  attr.matching_engine_buckets = 256;
+  return attr;
+}
+
+// ---------------------------------------------------------------------------
+// cancel()
+// ---------------------------------------------------------------------------
+
+TEST(Cancel, ParkedRecvCompletesExactlyOnceWithFatalCanceled) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    if (rank == 0) {
+      char buf[64];
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::op_t op;
+      const lci::status_t rs =
+          lci::post_recv_x(1, buf, sizeof(buf), 77, sync).op_handle(&op)();
+      ASSERT_TRUE(rs.error.is_posted());
+      ASSERT_TRUE(op.is_valid());
+      EXPECT_TRUE(lci::cancel(op));
+      lci::status_t done;
+      ASSERT_TRUE(lci::sync_test(sync, &done));  // signaled synchronously
+      EXPECT_EQ(done.error.code, lci::errorcode_t::fatal_canceled);
+      EXPECT_EQ(done.rank, 1);
+      EXPECT_EQ(done.tag, 77u);
+      // Exactly once: the same handle cannot be canceled again.
+      EXPECT_FALSE(lci::cancel(op));
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.ops_canceled, 1u);
+      EXPECT_EQ(c.comp_fatal, 1u);
+      lci::free_comp(&sync);
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Cancel, CompletedRecvRefusesCancel) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    const int peer = 1 - rank;
+    char in[8] = {0}, out[8] = {'h', 'i'};
+    lci::comp_t sync = lci::alloc_sync(1);
+    lci::op_t op;
+    lci::status_t rs =
+        lci::post_recv_x(peer, in, sizeof(in), 3, sync).op_handle(&op)();
+    lci::status_t ss;
+    do {
+      ss = lci::post_send(peer, out, sizeof(out), 3, {});
+      lci::progress();
+    } while (ss.error.is_retry());
+    if (rs.error.is_posted()) lci::sync_wait(sync, &rs);
+    ASSERT_TRUE(rs.error.is_done());
+    // The receive already completed: the runtime no longer owns it.
+    if (op.is_valid()) {
+      EXPECT_FALSE(lci::cancel(op));
+    }
+    EXPECT_EQ(lci::get_counters().ops_canceled, 0u);
+    lci::barrier();
+    lci::free_comp(&sync);
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Cancel, InvalidHandleRefuses) {
+  lci::sim::spawn(1, [](int) {
+    lci::g_runtime_init(small_attr());
+    lci::op_t op;  // never filled
+    EXPECT_FALSE(lci::cancel(op));
+    lci::g_runtime_fina();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// deadlines
+// ---------------------------------------------------------------------------
+
+TEST(Deadline, ExpiredRecvCompletesExactlyOnceWithFatalTimeout) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    if (rank == 0) {
+      char buf[64];
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::op_t op;
+      const lci::status_t rs = lci::post_recv_x(1, buf, sizeof(buf), 5, sync)
+                                   .deadline(2000)  // 2 ms; nobody sends
+                                   .op_handle(&op)();
+      ASSERT_TRUE(rs.error.is_posted());
+      lci::status_t done;
+      lci::sync_wait(sync, &done);  // progress drives the deadline sweep
+      EXPECT_EQ(done.error.code, lci::errorcode_t::fatal_timeout);
+      EXPECT_EQ(done.rank, 1);
+      // Exactly once: the handle is spent, extra progress changes nothing.
+      EXPECT_FALSE(lci::cancel(op));
+      for (int i = 0; i < 50; ++i) lci::progress();
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.ops_timed_out, 1u);
+      EXPECT_EQ(c.comp_fatal, 1u);
+      lci::free_comp(&sync);
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Deadline, CompletedRecvNeverTimesOutRetroactively) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    const int peer = 1 - rank;
+    char in[8] = {0}, out[8] = {'o', 'k'};
+    lci::comp_t sync = lci::alloc_sync(1);
+    lci::status_t rs = lci::post_recv_x(peer, in, sizeof(in), 6, sync)
+                           .deadline(50 * 1000)();  // generous: 50 ms
+    lci::status_t ss;
+    do {
+      ss = lci::post_send(peer, out, sizeof(out), 6, {});
+      lci::progress();
+    } while (ss.error.is_retry());
+    if (rs.error.is_posted()) lci::sync_wait(sync, &rs);
+    ASSERT_TRUE(rs.error.is_done());
+    // Outlive the deadline, keep progressing: no late fatal completion.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    for (int i = 0; i < 100; ++i) lci::progress();
+    const lci::counters_t c = lci::get_counters();
+    EXPECT_EQ(c.ops_timed_out, 0u);
+    EXPECT_EQ(c.comp_fatal, 0u);
+    lci::barrier();
+    lci::free_comp(&sync);
+    lci::g_runtime_fina();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// kill_peer() + fast-fail posts
+// ---------------------------------------------------------------------------
+
+TEST(PeerDeath, KillPeerHookFailsParkedAndFuturePosts) {
+  std::atomic<int> finished{0};
+  lci::sim::spawn(2, [&](int rank) {
+    lci::g_runtime_init(small_attr());
+    if (rank == 0) {
+      char buf[64];
+      lci::comp_t cq = lci::alloc_cq();
+      // Parked receive naming rank 1 (queued in the matching engine).
+      const lci::status_t rs =
+          lci::post_recv_x(1, buf, sizeof(buf), 9, cq).allow_done(false)();
+      ASSERT_TRUE(rs.error.is_posted());
+
+      EXPECT_TRUE(lci::kill_peer(1));
+      EXPECT_FALSE(lci::kill_peer(1));  // already dead
+
+      // The purge completes the parked receive with fatal_peer_down.
+      lci::status_t st;
+      do {
+        lci::progress();
+        st = lci::cq_pop(cq);
+      } while (st.error.is_retry());
+      EXPECT_EQ(st.error.code, lci::errorcode_t::fatal_peer_down);
+      EXPECT_EQ(st.rank, 1);
+
+      // Fast-fail: posts naming the dead rank return (not throw) fatal.
+      const lci::status_t dead_recv =
+          lci::post_recv(1, buf, sizeof(buf), 10, {});
+      EXPECT_EQ(dead_recv.error.code, lci::errorcode_t::fatal_peer_down);
+      char byte = 'x';
+      const lci::status_t dead_send = lci::post_send(1, &byte, 1, 10, {});
+      EXPECT_EQ(dead_send.error.code, lci::errorcode_t::fatal_peer_down);
+
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_GE(c.peer_down_completions, 1u);
+
+      // Dead peers are reported through the device attributes.
+      const lci::device_attr_t attr = lci::get_attr(lci::device_t{});
+      ASSERT_EQ(attr.dead_peers.size(), 1u);
+      EXPECT_EQ(attr.dead_peers[0], 1);
+      lci::free_comp(&cq);
+    }
+    finished.fetch_add(1, std::memory_order_release);
+    while (finished.load(std::memory_order_acquire) < 2) {
+      lci::progress();
+      std::this_thread::yield();
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// drain()
+// ---------------------------------------------------------------------------
+
+TEST(Drain, ForceCancelsParkedTrackedOps) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(small_attr());
+    if (rank == 0) {
+      constexpr int parked = 5;
+      std::vector<std::vector<char>> bufs(parked, std::vector<char>(64));
+      lci::comp_t cq = lci::alloc_cq();
+      lci::op_t ops[parked];
+      for (int i = 0; i < parked; ++i) {
+        const lci::status_t rs =
+            lci::post_recv_x(1, bufs[static_cast<std::size_t>(i)].data(), 64,
+                             static_cast<lci::tag_t>(i), cq)
+                .op_handle(&ops[i])();
+        ASSERT_TRUE(rs.error.is_posted());
+      }
+      // Nothing is moving and nobody will send: the cooperative phase gives
+      // up at the timeout and the force-kill phase cancels all five.
+      const std::size_t killed = lci::drain(lci::device_t{}, 2000);
+      EXPECT_EQ(killed, static_cast<std::size_t>(parked));
+      int fatal = 0;
+      lci::status_t st;
+      while (!(st = lci::cq_pop(cq)).error.is_retry()) {
+        EXPECT_EQ(st.error.code, lci::errorcode_t::fatal_canceled);
+        ++fatal;
+      }
+      EXPECT_EQ(fatal, parked);
+      for (auto& op : ops) EXPECT_FALSE(lci::cancel(op));  // all spent
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.ops_canceled, static_cast<uint64_t>(parked));
+      lci::free_comp(&cq);
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+TEST(Drain, QuiescedDeviceDrainsClean) {
+  lci::sim::spawn(1, [](int) {
+    lci::g_runtime_init(small_attr());
+    EXPECT_EQ(lci::drain(lci::device_t{}, 5000), 0u);
+    lci::g_runtime_fina();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mid-traffic kill of rank 1: the acceptance sweep.
+// ---------------------------------------------------------------------------
+
+// Ring traffic: every rank receives from its left neighbor and sends to its
+// right neighbor while rank 1's kill schedule fires mid-stream. Each
+// operation must complete exactly once — done for live pairs, fatal_peer_down
+// for operations naming the dead rank (dead-rank locals see their whole world
+// fail). Completion accounting is per-operation through a CQ, so a double
+// completion shows up as an excess pop and a lost one as a hang (ctest
+// timeout).
+class KillSweep : public ::testing::TestWithParam<
+                      std::tuple<int, std::size_t, bool>> {
+ protected:
+  int nranks() const { return std::get<0>(GetParam()); }
+  std::size_t msg_size() const { return std::get<1>(GetParam()); }
+  bool auto_progress() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(KillSweep, EveryOpNamingTheDeadRankFailsExactlyOnce) {
+  const int n = nranks();
+  const std::size_t size = msg_size();
+  const bool auto_prog = auto_progress();
+  constexpr int messages = 48;
+
+  lci::net::config_t config;
+  config.fault.kill_rank = 1;
+  config.fault.kill_after_ops = 40;  // past the preposts, mid-traffic
+  config.fault.seed = 0xdeadull;
+
+  std::atomic<int> finished{0};
+  lci::sim::spawn(
+      n,
+      [&](int rank) {
+        lci::runtime_attr_t attr = small_attr();
+        attr.prepost_depth = 16;  // keep preposts below the kill threshold
+        if (auto_prog) {
+          attr.auto_progress_default = true;
+          attr.nprogress_threads = 2;
+        }
+        lci::g_runtime_init(attr);
+        const int right = (rank + 1) % n;
+        const int left = (rank - 1 + n) % n;
+
+        auto step = [&] {
+          if (!auto_prog) lci::progress();
+          std::this_thread::yield();
+        };
+
+        lci::comp_t cq = lci::alloc_cq();
+        std::vector<std::vector<char>> in(
+            messages, std::vector<char>(size, 0));
+        std::vector<char> out(size, static_cast<char>('A' + rank));
+
+        // Post all receives; some fail immediately once the peer is dead.
+        // `peer_down` counts both failure paths — returned by the post
+        // (fast-fail on an already-dead rank) and popped from the CQ (the
+        // death interrupted an in-flight operation).
+        int owed = 0, done = 0, peer_down = 0;
+        for (int i = 0; i < messages; ++i) {
+          const lci::status_t rs =
+              lci::post_recv_x(left, in[static_cast<std::size_t>(i)].data(),
+                               size, static_cast<lci::tag_t>(i), cq)
+                  .allow_done(false)();
+          if (rs.error.is_posted()) {
+            ++owed;
+          } else {
+            ASSERT_EQ(rs.error.code, lci::errorcode_t::fatal_peer_down);
+            ++peer_down;
+          }
+        }
+        // Send the stream; a send may fail-fast (returned fatal) once the
+        // destination dies, or complete fatally through the CQ if it was
+        // already in flight (e.g. a rendezvous handshake the death orphans).
+        for (int i = 0; i < messages; ++i) {
+          lci::status_t ss;
+          do {
+            ss = lci::post_send_x(right, out.data(), size,
+                                  static_cast<lci::tag_t>(i), cq)
+                     .allow_done(false)();
+            if (ss.error.is_retry()) step();
+          } while (ss.error.is_retry());
+          if (ss.error.is_posted()) {
+            ++owed;
+          } else {
+            ASSERT_EQ(ss.error.code, lci::errorcode_t::fatal_peer_down);
+            ++peer_down;
+          }
+        }
+
+        // Drain: every posted operation completes exactly once, normally or
+        // fatally. A lost completion hangs here; a duplicated one trips the
+        // owed counter below zero.
+        while (owed > 0) {
+          const lci::status_t st = lci::cq_pop(cq);
+          if (st.error.is_retry()) {
+            step();
+            continue;
+          }
+          --owed;
+          if (st.error.is_done()) {
+            ++done;
+          } else {
+            ASSERT_EQ(st.error.code, lci::errorcode_t::fatal_peer_down)
+                << "rank " << rank;
+            ++peer_down;
+          }
+        }
+        ASSERT_EQ(owed, 0);
+        // Ranks bordering the dead rank (and the dead rank itself) must have
+        // seen failures; pairs of live ranks complete some traffic normally.
+        if (n > 2 && rank != 0 && rank != 1 && rank != 2) {
+          EXPECT_EQ(peer_down, 0) << "rank " << rank;
+        }
+        if (rank == 2) {
+          EXPECT_GT(peer_down, 0);
+        }
+
+        // No duplicate completions were queued behind the drain.
+        for (int i = 0; i < 50; ++i) {
+          EXPECT_TRUE(lci::cq_pop(cq).error.is_retry());
+          step();
+        }
+
+        // Out-of-band teardown sync: collectives may legitimately throw here
+        // (a member rank is dead), so don't use lci::barrier.
+        finished.fetch_add(1, std::memory_order_release);
+        while (finished.load(std::memory_order_acquire) < n) step();
+        lci::free_comp(&cq);
+        lci::g_runtime_fina();
+      },
+      config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksSizesModes, KillSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(std::size_t{8}, std::size_t{16384}),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) <= 8 ? "_eager" : "_rdv") +
+             (std::get<2>(info.param) ? "_auto" : "_polled");
+    });
+
+// ---------------------------------------------------------------------------
+// Collectives with a dead member terminate fatally at every rank.
+// ---------------------------------------------------------------------------
+
+TEST(PeerDeathCollective, BarrierThrowsAtEveryLiveRank) {
+  constexpr int n = 4;
+  std::atomic<int> finished{0};
+  lci::net::config_t config;
+  config.fault.kill_rank = 1;
+  config.fault.kill_after_ops = 0;  // dead from the start
+  lci::sim::spawn(
+      n,
+      [&](int rank) {
+        lci::runtime_attr_t attr = small_attr();
+        // Non-neighbor ranks wait on live-but-stuck peers: the collective
+        // deadline turns those waits into fatal_timeout instead of a hang.
+        attr.collective_deadline_us = 200 * 1000;
+        lci::g_runtime_init(attr);
+        EXPECT_THROW(lci::barrier(), lci::fatal_error_t) << "rank " << rank;
+        finished.fetch_add(1, std::memory_order_release);
+        while (finished.load(std::memory_order_acquire) < n) {
+          lci::progress();
+          std::this_thread::yield();
+        }
+        lci::g_runtime_fina();
+      },
+      config);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 // that predicts every byte. Seeds are fixed so failures replay.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -82,12 +83,45 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
           .allow_done(false)();
     }
 
+    // Cancellations mixed into the op stream: receives on a tag nobody
+    // sends to (ntags) are posted and canceled at random points between the
+    // real sends. Every one must complete exactly once with fatal_canceled
+    // through its own queue, and none may disturb the oracle traffic.
+    lci::comp_t ccq = lci::alloc_cq();
+    std::deque<std::array<char, 32>> cancel_bufs;
+    std::vector<lci::op_t> cancelable;
+    int extra = 0;
+    const uint64_t canceled_before = lci::get_counters().ops_canceled;
+    auto post_cancelable = [&] {
+      cancel_bufs.emplace_back();
+      lci::op_t op;
+      lci::status_t rs;
+      do {
+        rs = lci::post_recv_x(peer, cancel_bufs.back().data(),
+                              cancel_bufs.back().size(),
+                              static_cast<lci::tag_t>(ntags), ccq)
+                 .op_handle(&op)
+                 .allow_done(false)();
+        if (rs.error.is_retry()) lci::progress();
+      } while (rs.error.is_retry());
+      ASSERT_TRUE(rs.error.is_posted());
+      cancelable.push_back(op);
+      ++extra;
+    };
+
     // Issue my sends with a window of outstanding completions.
     lci::comp_t scq = lci::alloc_cq();
     std::map<lci::tag_t, int> send_seq;
     int owed = 0;
     std::vector<std::vector<char>> live_buffers;
     for (const auto& op : my_sends) {
+      if (rng.below(4) == 0) post_cancelable();
+      if (rng.below(4) == 0 && !cancelable.empty()) {
+        const std::size_t pick = rng.below(cancelable.size());
+        EXPECT_TRUE(lci::cancel(cancelable[pick]));
+        cancelable[pick] = cancelable.back();
+        cancelable.pop_back();
+      }
       std::vector<char> payload(op.size);
       fill_payload(payload, payload_key(rank, op.tag, send_seq[op.tag]++));
       lci::status_t ss;
@@ -107,6 +141,23 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
     }
     lci::sync_wait(rsync, nullptr);
 
+    // Cancel the leftovers; each must still be parked (nothing matches the
+    // reserved tag), and every cancellation surfaces exactly once.
+    for (const auto& op : cancelable) EXPECT_TRUE(lci::cancel(op));
+    int fatal_pops = 0;
+    while (fatal_pops < extra) {
+      const lci::status_t st = lci::cq_pop(ccq);
+      if (st.error.is_retry()) {
+        lci::progress();
+        continue;
+      }
+      ASSERT_EQ(st.error.code, lci::errorcode_t::fatal_canceled);
+      ++fatal_pops;
+    }
+    EXPECT_TRUE(lci::cq_pop(ccq).error.is_retry());
+    EXPECT_EQ(lci::get_counters().ops_canceled - canceled_before,
+              static_cast<uint64_t>(extra));
+
     // Verify every received payload against the oracle.
     for (const auto& slot : slots) {
       std::vector<char> expect(slot.buffer.size());
@@ -117,6 +168,7 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
           << expect.size();
     }
     lci::barrier();
+    lci::free_comp(&ccq);
     lci::free_comp(&rsync);
     lci::free_comp(&scq);
     lci::g_runtime_fina();
