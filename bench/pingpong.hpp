@@ -9,6 +9,7 @@
 // land in a shared queue and are fungible across threads.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -37,6 +38,14 @@ struct pingpong_params_t {
   // hybrid (N/true — engine threads plus worker polling).
   int nprogress_threads = 0;
   bool workers_progress = true;
+  bool aggregation = false;  // lci backend: coalesce small eager sends/AMs
+  uint64_t agg_flush_us = 0; // batch hold time; 0 flushes every progress poll
+  // Send-window depth per thread (rank-wide credits = T * window). 1 is a
+  // strict ping-pong (latency-bound); message-rate sweeps use a deeper
+  // window so the rate decouples from the round-trip and batching/pipelining
+  // in the backends can actually engage. Both sides of any comparison must
+  // run the same window.
+  int window = 1;
   lci::net::config_t fabric{};
 };
 
@@ -71,6 +80,8 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         config.eager_size = p.eager_size;
         config.enable_am = p.use_am;
         config.nprogress_threads = p.nprogress_threads;
+        config.enable_aggregation = p.aggregation;
+        config.aggregation_flush_us = p.agg_flush_us;
         auto ctx = lcw::alloc_context(p.backend, config);
         const int peer = (rank + R / 2) % R;
         auto binding = lci::sim::current_binding();
@@ -81,7 +92,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         // mode pops completions from one shared queue, so an arrival may be
         // observed by any thread — credits must be fungible across threads
         // or a thread that never pops starves and the ranks deadlock.
-        std::atomic<long> credits{T};
+        std::atomic<long> credits{static_cast<long>(T) * p.window};
         // Posted sends whose completion has not been observed; like
         // arrivals, completions are fungible across threads in shared mode,
         // so the counter is rank-global.
@@ -90,7 +101,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         // ranks mid-benchmark): the remaining traffic can never arrive, so
         // every worker on this rank stops instead of spinning.
         std::atomic<bool> peer_dead{false};
-        constexpr int recv_window = 4;
+        const int recv_window = std::max(4, p.window);
 
         // Workers poll do_progress unless dedicated engine threads own the
         // wire; mixed (hybrid) mode keeps both legal.

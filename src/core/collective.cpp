@@ -93,11 +93,15 @@ void coll_send(const coll_ctx_t& ctx, int peer, const void* buf,
   const uint64_t give_up =
       deadline_us != 0 ? detail::now_ns() + deadline_us * 1000 : 0;
   while (true) {
+    // Collective hops are latency-bound control messages: never coalesce
+    // them (a buffered hop would sit in a slot until an age flush, stalling
+    // every rank behind the barrier).
     const status_t status =
         post_send_x(peer, const_cast<void*>(buf), size, tag, sync)
             .runtime(runtime_t{ctx.rt})
             .device(device_t{ctx.dev})
             .matching_engine(engine)
+            .allow_aggregation(false)
             .deadline(deadline_us)();
     if (status.error.is_done()) break;
     if (status.error.is_posted()) {
@@ -335,7 +339,8 @@ graph_t alloc_barrier_graph(runtime_t runtime, device_t device) {
       return post_send_x(to, out.get(), 1, tag, comp_t{})
           .runtime(runtime_t{rt})
           .device(device_t{dev})
-          .matching_engine(engine)();
+          .matching_engine(engine)
+          .allow_aggregation(false)();  // latency-bound control message
     });
     if (previous_recv != graph_node_null)
       graph_add_edge(graph, previous_recv, send_node);

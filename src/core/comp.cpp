@@ -154,6 +154,12 @@ device_attr_t get_attr(device_t device) {
   attr.auto_progress = dev->auto_progress();
   attr.doorbell_rings = dev->doorbell().rings();
   attr.wire_dropped = dev->net().wire_dropped();
+  attr.allow_aggregation = dev->aggregation_default();
+  attr.aggregation_eager_max = dev->agg_eager_max();
+  attr.aggregation_max_bytes = dev->agg_max_bytes();
+  attr.aggregation_max_msgs = dev->agg_max_msgs();
+  attr.aggregation_flush_us = dev->agg_flush_us();
+  attr.cq_poll_burst = dev->cq_poll_burst();
   const int nranks = dev->runtime()->nranks();
   for (int rank = 0; rank < nranks; ++rank)
     if (dev->net().is_peer_down(rank)) attr.dead_peers.push_back(rank);

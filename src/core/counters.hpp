@@ -1,17 +1,25 @@
 // Per-runtime statistics counters.
 //
-// Cheap (relaxed, cache-line-padded per counter) instrumentation of the
-// communication paths: protocol mix, retry reasons, backlog traffic,
-// rendezvous handshakes. Snapshots are taken with lci::get_counters and are
-// approximate under concurrency (each counter is exact; cross-counter
-// consistency is not promised), which is all debugging and benchmark
-// reporting need.
+// Cheap (relaxed) instrumentation of the communication paths: protocol mix,
+// retry reasons, backlog traffic, rendezvous handshakes. The hot counters
+// (send_bcopy, progress_calls, recv_posted, ...) are bumped by every worker
+// thread on every operation, so the block is sharded: each thread owns a
+// cache-line-padded block of cells keyed by its dense util::thread_id(), and
+// add() is an uncontended relaxed fetch_add on the thread's own line.
+// Snapshots (lci::get_counters) sum the blocks and are approximate under
+// concurrency (each counter is exact; cross-counter consistency is not
+// promised), which is all debugging and benchmark reporting need.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "util/cacheline.hpp"
+#include "util/mpmc_array.hpp"
+#include "util/spinlock.hpp"
+#include "util/thread.hpp"
 
 namespace lci {
 
@@ -49,6 +57,14 @@ struct counters_t {
   uint64_t progress_thread_advances = 0;
   uint64_t progress_sleeps = 0;
   uint64_t progress_wakeups = 0;
+  // Eager-message coalescing: sub-messages appended into aggregation slots,
+  // eager_batch wire messages posted, flushes forced by the matching-order
+  // rule (a non-aggregated message posted to a peer with an armed slot), and
+  // eager_batch wire messages received and unpacked.
+  uint64_t send_coalesced = 0;
+  uint64_t batches_flushed = 0;
+  uint64_t batch_flush_ordering = 0;
+  uint64_t recv_batches = 0;
   // Retries forced by the simulated fabric's fault-injection policy. Summed
   // over the runtime's live devices at snapshot time (not a runtime counter
   // cell, so reset_counters does not clear it).
@@ -86,68 +102,129 @@ enum class counter_id_t : int {
   progress_thread_advances,
   progress_sleeps,
   progress_wakeups,
+  send_coalesced,
+  batches_flushed,
+  batch_flush_ordering,
+  recv_batches,
   count_  // sentinel
 };
 
+// Sharded counter block: a registry of per-thread cell blocks (the same
+// MPMC-array + registration-lock shape as the packet pool's deque registry).
+// add()/record_max() touch only the calling thread's block; snapshot()/
+// reset() walk all registered blocks. backlog_peak_depth is a high-water
+// mark, so the snapshot takes the max across blocks instead of the sum.
 class counter_block_t {
  public:
+  counter_block_t() = default;
+  counter_block_t(const counter_block_t&) = delete;
+  counter_block_t& operator=(const counter_block_t&) = delete;
+
   void add(counter_id_t id, uint64_t delta = 1) noexcept {
-    cells_[static_cast<std::size_t>(id)]->fetch_add(
+    local_block()->cells[static_cast<std::size_t>(id)].fetch_add(
         delta, std::memory_order_relaxed);
   }
 
-  // Monotonic high-water mark (used by backlog_peak_depth).
+  // Monotonic high-water mark (used by backlog_peak_depth): each thread
+  // raises its own cell; the snapshot maxes across threads.
   void record_max(counter_id_t id, uint64_t value) noexcept {
-    auto& cell = *cells_[static_cast<std::size_t>(id)];
-    uint64_t seen = cell.load(std::memory_order_relaxed);
-    while (value > seen &&
-           !cell.compare_exchange_weak(seen, value,
-                                       std::memory_order_relaxed)) {
-    }
+    auto& cell = local_block()->cells[static_cast<std::size_t>(id)];
+    if (value > cell.load(std::memory_order_relaxed))
+      cell.store(value, std::memory_order_relaxed);
   }
 
   counters_t snapshot() const noexcept {
     counters_t out;
-    out.send_inject = load(counter_id_t::send_inject);
-    out.send_bcopy = load(counter_id_t::send_bcopy);
-    out.send_rdv = load(counter_id_t::send_rdv);
-    out.recv_posted = load(counter_id_t::recv_posted);
-    out.recv_matched = load(counter_id_t::recv_matched);
-    out.am_delivered = load(counter_id_t::am_delivered);
-    out.rma_put = load(counter_id_t::rma_put);
-    out.rma_get = load(counter_id_t::rma_get);
-    out.retry_lock = load(counter_id_t::retry_lock);
-    out.retry_nopacket = load(counter_id_t::retry_nopacket);
-    out.retry_nomem = load(counter_id_t::retry_nomem);
-    out.backlog_pushed = load(counter_id_t::backlog_pushed);
-    out.backlog_retired = load(counter_id_t::backlog_retired);
-    out.backlog_retries = load(counter_id_t::backlog_retries);
-    out.backlog_peak_depth = load(counter_id_t::backlog_peak_depth);
-    out.comp_fatal = load(counter_id_t::comp_fatal);
-    out.ops_canceled = load(counter_id_t::ops_canceled);
-    out.ops_timed_out = load(counter_id_t::ops_timed_out);
-    out.peer_down_completions = load(counter_id_t::peer_down_completions);
-    out.progress_calls = load(counter_id_t::progress_calls);
-    out.progress_thread_polls = load(counter_id_t::progress_thread_polls);
-    out.progress_thread_advances =
-        load(counter_id_t::progress_thread_advances);
-    out.progress_sleeps = load(counter_id_t::progress_sleeps);
-    out.progress_wakeups = load(counter_id_t::progress_wakeups);
+    out.send_inject = sum(counter_id_t::send_inject);
+    out.send_bcopy = sum(counter_id_t::send_bcopy);
+    out.send_rdv = sum(counter_id_t::send_rdv);
+    out.recv_posted = sum(counter_id_t::recv_posted);
+    out.recv_matched = sum(counter_id_t::recv_matched);
+    out.am_delivered = sum(counter_id_t::am_delivered);
+    out.rma_put = sum(counter_id_t::rma_put);
+    out.rma_get = sum(counter_id_t::rma_get);
+    out.retry_lock = sum(counter_id_t::retry_lock);
+    out.retry_nopacket = sum(counter_id_t::retry_nopacket);
+    out.retry_nomem = sum(counter_id_t::retry_nomem);
+    out.backlog_pushed = sum(counter_id_t::backlog_pushed);
+    out.backlog_retired = sum(counter_id_t::backlog_retired);
+    out.backlog_retries = sum(counter_id_t::backlog_retries);
+    out.backlog_peak_depth = max_of(counter_id_t::backlog_peak_depth);
+    out.comp_fatal = sum(counter_id_t::comp_fatal);
+    out.ops_canceled = sum(counter_id_t::ops_canceled);
+    out.ops_timed_out = sum(counter_id_t::ops_timed_out);
+    out.peer_down_completions = sum(counter_id_t::peer_down_completions);
+    out.progress_calls = sum(counter_id_t::progress_calls);
+    out.progress_thread_polls = sum(counter_id_t::progress_thread_polls);
+    out.progress_thread_advances = sum(counter_id_t::progress_thread_advances);
+    out.progress_sleeps = sum(counter_id_t::progress_sleeps);
+    out.progress_wakeups = sum(counter_id_t::progress_wakeups);
+    out.send_coalesced = sum(counter_id_t::send_coalesced);
+    out.batches_flushed = sum(counter_id_t::batches_flushed);
+    out.batch_flush_ordering = sum(counter_id_t::batch_flush_ordering);
+    out.recv_batches = sum(counter_id_t::recv_batches);
     return out;
   }
 
   void reset() noexcept {
-    for (auto& cell : cells_) cell->store(0, std::memory_order_relaxed);
+    const std::size_t n = blocks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_block_t* block = blocks_.get(i);
+      if (block == nullptr) continue;
+      for (auto& cell : block->cells) cell.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
-  uint64_t load(counter_id_t id) const noexcept {
-    return cells_[static_cast<std::size_t>(id)]->load(
-        std::memory_order_relaxed);
+  struct alignas(util::cache_line_size) cell_block_t {
+    std::atomic<uint64_t> cells[static_cast<std::size_t>(counter_id_t::count_)];
+    cell_block_t() {
+      for (auto& cell : cells) cell.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  cell_block_t* local_block() noexcept {
+    const std::size_t id = util::thread_id();
+    cell_block_t* block = id < blocks_.size() ? blocks_.get(id) : nullptr;
+    if (block != nullptr) return block;
+    auto owned = std::make_unique<cell_block_t>();
+    block = owned.get();
+    {
+      std::lock_guard<util::spinlock_t> guard(reg_lock_);
+      block_storage_.push_back(std::move(owned));
+    }
+    blocks_.put_extend(id, block);
+    return block;
   }
 
-  util::padded<std::atomic<uint64_t>>
-      cells_[static_cast<std::size_t>(counter_id_t::count_)];
+  uint64_t sum(counter_id_t id) const noexcept {
+    uint64_t total = 0;
+    const std::size_t n = blocks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const cell_block_t* block = blocks_.get(i);
+      if (block != nullptr)
+        total += block->cells[static_cast<std::size_t>(id)].load(
+            std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  uint64_t max_of(counter_id_t id) const noexcept {
+    uint64_t best = 0;
+    const std::size_t n = blocks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const cell_block_t* block = blocks_.get(i);
+      if (block == nullptr) continue;
+      const uint64_t value = block->cells[static_cast<std::size_t>(id)].load(
+          std::memory_order_relaxed);
+      if (value > best) best = value;
+    }
+    return best;
+  }
+
+  mutable util::mpmc_array_t<cell_block_t*> blocks_{64};
+  std::vector<std::unique_ptr<cell_block_t>> block_storage_;  // reg_lock_
+  util::spinlock_t reg_lock_;
 };
 
 }  // namespace detail

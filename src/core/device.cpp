@@ -1,5 +1,7 @@
 // Device: a complete set of low-level network resources. Threads operating
 // on different devices never interfere (paper Sec. 3.2.3 / 4.2).
+#include <algorithm>
+
 #include "core/runtime_impl.hpp"
 #include "util/log.hpp"
 
@@ -13,6 +15,27 @@ device_impl_t::device_impl_t(runtime_impl_t* runtime,
       auto_progress_(auto_progress),
       net_device_(runtime->net_context().create_device()) {
   backlog_.bind_counters(&runtime_->counters());
+  // Resolve the eager-coalescing policy (0-defaults filled from the packet
+  // geometry) and size one aggregation slot per peer.
+  const runtime_attr_t& attr = runtime_->attr();
+  agg_default_ = attr.allow_aggregation;
+  const std::size_t payload_capacity = runtime_->eager_threshold();
+  agg_max_bytes_ = std::min(attr.aggregation_max_bytes != 0
+                                ? attr.aggregation_max_bytes
+                                : payload_capacity,
+                            payload_capacity);
+  agg_max_bytes_ = std::max(agg_max_bytes_, batch_entry_bytes(1));
+  agg_eager_max_ = std::min(attr.aggregation_eager_max,
+                            agg_max_bytes_ - sizeof(batch_sub_header_t));
+  agg_max_msgs_ = std::max<std::size_t>(1, attr.aggregation_max_msgs);
+  agg_flush_us_ = attr.aggregation_flush_us;
+  agg_slots_ = std::make_unique<agg_slot_t[]>(
+      static_cast<std::size_t>(runtime_->nranks()));
+  // CQ poll burst: runtime attr, defaulting to the fabric's own burst.
+  const std::size_t burst = attr.cq_poll_burst != 0
+                                ? attr.cq_poll_burst
+                                : runtime_->net_config().poll_burst;
+  cq_poll_burst_ = std::clamp<std::size_t>(burst, 1, max_cq_poll_burst);
   // Always register the doorbell: rings are counted (observable via
   // get_attr) even when no engine thread ever attaches to this device.
   net_device_->set_doorbell(&doorbell_);

@@ -137,7 +137,12 @@ bool runtime_impl_t::finish_tracked_op(
         won = record->rdv_id != 0 &&
               fail_pending_recv(this, record->rdv_id, code);
         break;
-      case op_kind_t::backlog: {
+      case op_kind_t::backlog:
+      case op_kind_t::coalesced: {
+        // Backlog: live->terminal CAS races the executor's live->executing.
+        // Coalesced: the CAS races the flush-time resolve, which skips
+        // records it lost (the staged bytes still travel; cancellation is
+        // completion-only once data sits in an aggregation slot).
         uint8_t expected = op_record_t::st_live;
         if (!record->state.compare_exchange_strong(
                 expected, op_record_t::st_terminal,
@@ -264,7 +269,21 @@ std::size_t runtime_impl_t::purge_dead_peer(int peer, bool everything) {
     finish_failed_recv(this, recv, errorcode_t::fatal_peer_down);
     ++completed;
   }
-  // 3. Tracked backlogged submissions naming the peer. (Untracked backlog
+  // 3. Aggregation slots holding bytes destined for the peer: the batch will
+  //    never be accepted, so buffered sub-ops that still owe a signal fail
+  //    with fatal_peer_down now (delivered at most once: the flush path and
+  //    this purge arbitrate through the same per-entry record CAS, and
+  //    detaching the slot under its lock means only one side ever holds a
+  //    given pending list).
+  std::vector<device_impl_t*> devices;
+  {
+    std::lock_guard<util::spinlock_t> guard(device_lock_);
+    devices = devices_;
+  }
+  for (device_impl_t* device : devices)
+    completed += device->abort_aggregation(everything ? -1 : peer,
+                                           errorcode_t::fatal_peer_down);
+  // 4. Tracked backlogged submissions naming the peer. (Untracked backlog
   //    entries need no purge: their next run posts to a dead rank, gets
   //    peer_down back, and self-delivers the fatal completion.)
   std::vector<std::shared_ptr<op_record_t>> snapshot;
@@ -338,8 +357,12 @@ std::size_t runtime_impl_t::drain_device(device_impl_t* device,
   int quiet = 0;
   bool quiesced = false;
   while (give_up != 0) {
+    // Force-flush aggregation slots regardless of age: drain means "get
+    // everything on the wire", not "wait for the flush timer".
+    device->flush_aggregation();
     const bool advanced = device->progress();
     const bool idle = !advanced && device->backlog().size_approx() == 0 &&
+                      !device->has_armed_aggregation() &&
                       pending_sends_.size() == 0 &&
                       pending_recvs_.size() == 0 &&
                       tracked_count_.load(std::memory_order_acquire) == 0;
@@ -357,6 +380,9 @@ std::size_t runtime_impl_t::drain_device(device_impl_t* device,
   progress_engine_t* engine = progress_engine();
   if (engine != nullptr) engine->pause();
   std::size_t killed = device->backlog().drain_abort();
+  // Aggregation slots that survived phase 1 (e.g. the fabric kept bouncing
+  // the batch post): cancel the buffered sub-ops that still owe a signal.
+  killed += device->abort_aggregation(-1, errorcode_t::fatal_canceled);
   killed += force_kill_tracked(errorcode_t::fatal_canceled);
   std::vector<rdv_send_t> sends;
   pending_sends_.take_if([](const rdv_send_t&) { return true; }, sends);

@@ -254,6 +254,23 @@ struct runtime_attr_t {
   // forever — the deadline turns those waits into fatal_timeout, so the
   // collective terminates with a fatal code at every member rank.
   uint64_t collective_deadline_us = 0;
+  // Eager-message coalescing (docs/INTERNALS.md "Message coalescing"). Off by
+  // default: every eager message is its own wire message, exactly as before.
+  // When on (or per-post via post_*_x(...).allow_aggregation(true)), eager
+  // sends and AMs of at most aggregation_eager_max bytes append into a
+  // per-(device, peer) slot and travel as one eager_batch wire message,
+  // flushed when the slot reaches aggregation_max_bytes/aggregation_max_msgs,
+  // when progress() finds it older than aggregation_flush_us, on explicit
+  // flush(), or whenever a non-aggregated message to the same peer must not
+  // overtake it (the matching-order rule).
+  bool allow_aggregation = false;
+  std::size_t aggregation_eager_max = 256;
+  std::size_t aggregation_max_bytes = 0;  // 0 = packet payload capacity
+  std::size_t aggregation_max_msgs = 64;
+  uint64_t aggregation_flush_us = 100;
+  // CQEs drained per progress() poll of the network completion queue.
+  // 0 = align with the fabric's configured poll burst; clamped to [1, 64].
+  std::size_t cq_poll_burst = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -292,6 +309,11 @@ class alloc_runtime_x {
   }
   alloc_runtime_x& progress_sleep_us(std::size_t v) {
     attr_.progress_sleep_us = v;
+    return *this;
+  }
+  // Default eager-message coalescing policy for the runtime's devices.
+  alloc_runtime_x& allow_aggregation(bool v) {
+    attr_.allow_aggregation = v;
     return *this;
   }
   runtime_t operator()() const { return alloc_runtime(attr_); }
@@ -349,6 +371,13 @@ bool kill_peer(int rank, runtime_t runtime = {});
 // the number of operations it had to kill (0 = clean quiesce).
 std::size_t drain(device_t device = {}, uint64_t timeout_us = 0,
                   runtime_t runtime = {});
+
+// Forces every armed aggregation slot on `device` (or only the slot for
+// `rank`, when rank >= 0) to post its eager_batch now instead of waiting for
+// a size/age trigger. Returns the number of batches posted; slots whose post
+// hit transient back-pressure stay armed and flush on a later progress().
+// A no-op (returns 0) when nothing is buffered.
+std::size_t flush(device_t device = {}, int rank = -1, runtime_t runtime = {});
 
 // ---------------------------------------------------------------------------
 // Resources (Sec. 3.2.3, 4.1)
@@ -478,6 +507,16 @@ struct device_attr_t {
   uint64_t doorbell_rings = 0;  // wakeup-hint rings observed on this device
   uint64_t wire_dropped = 0;    // wire messages that evaporated at this device
   std::vector<int> dead_peers;  // ranks this device knows to be dead
+  // Eager-message coalescing policy resolved for this device (runtime attrs
+  // with aggregation_max_bytes 0 replaced by the packet payload capacity).
+  bool allow_aggregation = false;
+  std::size_t aggregation_eager_max = 0;
+  std::size_t aggregation_max_bytes = 0;
+  std::size_t aggregation_max_msgs = 0;
+  uint64_t aggregation_flush_us = 0;
+  // CQEs drained per progress() poll (runtime_attr_t::cq_poll_burst resolved
+  // against the fabric's poll burst and clamped).
+  std::size_t cq_poll_burst = 0;
 };
 struct matching_engine_attr_t {
   std::size_t num_buckets = 0;
@@ -605,9 +644,13 @@ struct post_args_t {
   // Failure lifecycle: relative deadline (0 = none) after which the deadline
   // sweep completes the operation with fatal_timeout if it is still parked
   // (receive unmatched, backlog entry unexecuted, rendezvous handshake
-  // unanswered); and an optional out-param receiving a cancel() handle.
+  // unanswered, aggregation-slot entry unflushed); and an optional out-param
+  // receiving a cancel() handle.
   uint64_t deadline_us = 0;
   op_t* out_op = nullptr;
+  // Eager-message coalescing override: -1 = inherit the runtime attr,
+  // 0/1 = force off/on for this post.
+  int8_t aggregation = -1;
 };
 
 status_t post_comm_impl(const post_args_t& args);
@@ -646,6 +689,10 @@ status_t post_comm_impl(const post_args_t& args);
   class_name& from_packet(bool v) { args_.from_packet = v; return *this; }     \
   class_name& deadline(uint64_t us) { args_.deadline_us = us; return *this; }  \
   class_name& op_handle(op_t* v) { args_.out_op = v; return *this; }           \
+  class_name& allow_aggregation(bool v) {                                      \
+    args_.aggregation = v ? 1 : 0;                                             \
+    return *this;                                                              \
+  }                                                                            \
   status_t operator()() const { return detail::post_comm_impl(args_); }
 
 class post_comm_x {

@@ -31,6 +31,16 @@ struct alignas(util::cache_line_size) packet_t {
   // it can recover the sender and payload length.
   int peer_rank = -1;
   uint32_t payload_size = 0;
+  // Reference count for shared ownership of one received packet by several
+  // consumers (an eager_batch delivering multiple AM payloads in
+  // packet-delivery mode). 0 outside that path; armed by the batch walker and
+  // decremented by release_am_packet, which returns the packet to its pool
+  // when the count hits zero.
+  std::atomic<uint32_t> refs{0};
+  // Set on packets heap-allocated by the batch unpacker when the pool ran
+  // dry while re-staging an unmatched sub-message; put() frees them instead
+  // of pushing them into a deque, so the pool never grows.
+  uint32_t heap_orphan = 0;
 
   char* payload() noexcept {
     return reinterpret_cast<char*>(this) + sizeof(packet_t);
@@ -41,6 +51,18 @@ struct alignas(util::cache_line_size) packet_t {
   }
 };
 static_assert(sizeof(packet_t) == util::cache_line_size);
+
+// Written immediately in front of every packet-delivered active-message
+// payload (over the just-parsed msg_header_t / batch sub-header — both are 16
+// bytes, so the record always fits). release_am_packet reads it back to find
+// the owning packet, which may not be header-adjacent when the payload is a
+// slice of an eager_batch.
+struct am_packet_ref_t {
+  packet_t* owner = nullptr;
+  uint64_t magic = 0;
+};
+inline constexpr uint64_t am_packet_magic = 0x4c4349414d524546ull;  // LCIAMREF
+static_assert(sizeof(am_packet_ref_t) == 16);
 
 class packet_pool_impl_t {
  public:

@@ -380,36 +380,51 @@ status_t post_comm_impl(const post_args_t& args) {
 
   if (args.direction == direction_t::out) {
     if (has_remote_buffer) {
-      // RMA put, with or without signal.
+      // RMA put, with or without signal. A signaling put delivers a remote
+      // completion, so it must not overtake a buffered batch (matching-order
+      // rule); a plain put carries no completion the peer can observe
+      // against the batch, so it may pass.
       if (args.buffers != nullptr)
         throw fatal_error_t("buffer lists are not supported for put/get");
-      auto* ctx = new op_ctx_t;
-      ctx->kind = ctx_kind_t::rma_put;
-      ctx->comp = args.local_comp.p;
-      ctx->user_context = args.user_context;
-      ctx->buffer = args.local_buffer;
-      ctx->size = args.size;
-      ctx->rank = args.rank;
-      ctx->tag = args.tag;
-      const uint32_t imm =
-          has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
-      net::post_result_t result;
-      try {
-        result = r.device->net().post_write(
-            args.rank, args.local_buffer, args.size, args.remote_buffer.id,
-            args.remote_offset, has_remote_comp, imm, ctx);
-      } catch (...) {
-        // Posting-time fatal (bad MR / bounds): the op context never reached
-        // the network, so it is still ours to free.
-        delete ctx;
-        throw;
+      bool blocked = false;
+      if (has_remote_comp && r.device->has_armed_aggregation()) {
+        const errorcode_t flushed =
+            r.device->flush_peer_for_ordering(args.rank);
+        if (error_t{flushed}.is_retry()) {
+          blocked = true;
+          status = retry_status(flushed);
+        }
       }
-      if (result != net::post_result_t::ok) {
-        delete ctx;
-        status = failed_post_status(r, args, result);
-      } else {
-        r.runtime->counters().add(counter_id_t::rma_put);
-        status.error.code = errorcode_t::posted;
+      if (!blocked) {
+        auto* ctx = new op_ctx_t;
+        ctx->kind = ctx_kind_t::rma_put;
+        ctx->comp = args.local_comp.p;
+        ctx->user_context = args.user_context;
+        ctx->buffer = args.local_buffer;
+        ctx->size = args.size;
+        ctx->rank = args.rank;
+        ctx->tag = args.tag;
+        const uint32_t imm =
+            has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag)
+                            : 0;
+        net::post_result_t result;
+        try {
+          result = r.device->net().post_write(
+              args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+              args.remote_offset, has_remote_comp, imm, ctx);
+        } catch (...) {
+          // Posting-time fatal (bad MR / bounds): the op context never
+          // reached the network, so it is still ours to free.
+          delete ctx;
+          throw;
+        }
+        if (result != net::post_result_t::ok) {
+          delete ctx;
+          status = failed_post_status(r, args, result);
+        } else {
+          r.runtime->counters().add(counter_id_t::rma_put);
+          status.error.code = errorcode_t::posted;
+        }
       }
     } else {
       // Send (no remote comp) or active message (remote comp given).
@@ -417,42 +432,80 @@ status_t post_comm_impl(const post_args_t& args) {
                                                  : msg_header_t::eager_send;
       const uint8_t rdv_kind =
           has_remote_comp ? msg_header_t::rts_am : msg_header_t::rts;
-      if (payload_size(args) <= r.runtime->eager_threshold())
-        status = post_eager_out(r, args, eager_kind, /*via_backlog=*/false);
-      else
-        status = post_rendezvous_out(r, args, rdv_kind);
+      const std::size_t size = payload_size(args);
+      // Eager-message coalescing: small single-buffer sends/AMs append into
+      // the peer's aggregation slot instead of going out alone.
+      const bool agg_on = args.aggregation >= 0
+                              ? args.aggregation == 1
+                              : r.device->aggregation_default();
+      if (agg_on && !args.from_packet && args.buffers == nullptr &&
+          size <= r.device->agg_eager_max()) {
+        status = r.device->agg_append(args, eager_kind, r.pool, r.engine);
+      } else {
+        // Matching-order rule: nothing may overtake a buffered batch to the
+        // same peer. A retry here bounces this post too; peer_down lets the
+        // normal path below report the fatal itself (the slot was aborted).
+        bool blocked = false;
+        if (r.device->has_armed_aggregation()) {
+          const errorcode_t flushed =
+              r.device->flush_peer_for_ordering(args.rank);
+          if (error_t{flushed}.is_retry()) {
+            blocked = true;
+            status = retry_status(flushed);
+          }
+        }
+        if (!blocked) {
+          if (size <= r.runtime->eager_threshold())
+            status = post_eager_out(r, args, eager_kind, /*via_backlog=*/false);
+          else
+            status = post_rendezvous_out(r, args, rdv_kind);
+        }
+      }
     }
   } else {
     if (has_remote_buffer) {
       // RMA get; with a remote comp this is the read-with-notification
-      // extension (see DESIGN.md).
+      // extension (see DESIGN.md). Like a signaling put, a notifying get
+      // must not overtake a buffered batch.
       if (args.buffers != nullptr)
         throw fatal_error_t("buffer lists are not supported for put/get");
-      auto* ctx = new op_ctx_t;
-      ctx->kind = ctx_kind_t::rma_get;
-      ctx->comp = args.local_comp.p;
-      ctx->user_context = args.user_context;
-      ctx->buffer = args.local_buffer;
-      ctx->size = args.size;
-      ctx->rank = args.rank;
-      ctx->tag = args.tag;
-      const uint32_t imm =
-          has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag) : 0;
-      net::post_result_t result;
-      try {
-        result = r.device->net().post_read(
-            args.rank, args.local_buffer, args.size, args.remote_buffer.id,
-            args.remote_offset, has_remote_comp, imm, ctx);
-      } catch (...) {
-        delete ctx;
-        throw;
+      bool blocked = false;
+      if (has_remote_comp && r.device->has_armed_aggregation()) {
+        const errorcode_t flushed =
+            r.device->flush_peer_for_ordering(args.rank);
+        if (error_t{flushed}.is_retry()) {
+          blocked = true;
+          status = retry_status(flushed);
+        }
       }
-      if (result != net::post_result_t::ok) {
-        delete ctx;
-        status = failed_post_status(r, args, result);
-      } else {
-        r.runtime->counters().add(counter_id_t::rma_get);
-        status.error.code = errorcode_t::posted;
+      if (!blocked) {
+        auto* ctx = new op_ctx_t;
+        ctx->kind = ctx_kind_t::rma_get;
+        ctx->comp = args.local_comp.p;
+        ctx->user_context = args.user_context;
+        ctx->buffer = args.local_buffer;
+        ctx->size = args.size;
+        ctx->rank = args.rank;
+        ctx->tag = args.tag;
+        const uint32_t imm =
+            has_remote_comp ? encode_signal_imm(args.remote_comp, args.tag)
+                            : 0;
+        net::post_result_t result;
+        try {
+          result = r.device->net().post_read(
+              args.rank, args.local_buffer, args.size, args.remote_buffer.id,
+              args.remote_offset, has_remote_comp, imm, ctx);
+        } catch (...) {
+          delete ctx;
+          throw;
+        }
+        if (result != net::post_result_t::ok) {
+          delete ctx;
+          status = failed_post_status(r, args, result);
+        } else {
+          r.runtime->counters().add(counter_id_t::rma_get);
+          status.error.code = errorcode_t::posted;
+        }
       }
     } else {
       if (has_remote_comp)

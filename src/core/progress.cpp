@@ -72,6 +72,18 @@ status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
 
 status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
                   uint32_t pending_id, net::mr_id_t mr) {
+  // Matching-order rule: an RTR unlocks an RDMA write into this rank, which
+  // the peer completes locally — it must not overtake a batch buffered for
+  // the peer. A retry bounces the RTR too (callers backlog it); peer_down
+  // falls through so the post below reports it.
+  if (device->has_armed_aggregation()) {
+    const errorcode_t flushed = device->flush_peer_for_ordering(peer_rank);
+    if (error_t{flushed}.is_retry()) {
+      status_t status;
+      status.error.code = flushed;
+      return status;
+    }
+  }
   rtr_msg_t msg;
   msg.header.kind = msg_header_t::rtr;
   msg.payload.rdv_id = rdv_id;
@@ -258,7 +270,14 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       status.tag = header->tag;
       if (runtime_->attr().am_deliver_packets) {
         // Deliver inside the packet (no copy); the consumer returns it with
-        // release_am_packet (Sec. 3.3.1).
+        // release_am_packet (Sec. 3.3.1). The ref record written over the
+        // already-parsed header makes the release path uniform with batch
+        // slices, whose payloads are not header-adjacent to the packet.
+        packet->refs.store(1, std::memory_order_relaxed);
+        am_packet_ref_t ref;
+        ref.owner = packet;
+        ref.magic = am_packet_magic;
+        std::memcpy(const_cast<char*>(data) - sizeof(ref), &ref, sizeof(ref));
         status.buffer = buffer_t{const_cast<char*>(data), data_size};
         comp->signal(status);
       } else {
@@ -416,6 +435,11 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       packet->pool->put(packet);
       return;
     }
+    case msg_header_t::eager_batch:
+      // Coalesced eager sub-messages; the walker owns the packet from here
+      // (it is shared with AM consumers in packet-delivery mode).
+      handle_batch_recv(cqe);
+      return;
   }
   throw fatal_error_t("corrupt message header");
 }
@@ -503,9 +527,17 @@ bool device_impl_t::progress() {
   advanced |= runtime_->deadline_sweep() > 0;
   // (3) Backlogged requests first: they are older than anything in the CQ.
   advanced |= backlog_.progress();
-  // (4) Poll the device.
-  net::cqe_t cqes[32];
-  const auto polled = net_device_->poll_cq(cqes, 32);
+  // Flush aggregation slots that have aged past aggregation_flush_us (the
+  // armed check is one relaxed load when coalescing is idle or off).
+  if (has_armed_aggregation()) {
+    const uint64_t now = now_ns();
+    const uint64_t age_ns = agg_flush_us_ * 1000;
+    if (now > age_ns) advanced |= flush_aggregation(-1, now - age_ns) > 0;
+  }
+  // (4) Poll the device. The burst is runtime_attr_t::cq_poll_burst resolved
+  // against the fabric's poll burst at device construction.
+  net::cqe_t cqes[max_cq_poll_burst];
+  const auto polled = net_device_->poll_cq(cqes, cq_poll_burst_);
   for (std::size_t i = 0; i < polled.count; ++i) {
     // Accumulate with |= so every CQE is handled; `advanced` must report only
     // what handle_cqe says (the old `|| cqe.op != send` term claimed progress

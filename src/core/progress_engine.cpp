@@ -142,13 +142,24 @@ void progress_engine_t::idle_sleep(worker_t* worker) {
   bool slept = false;
   if (!advanced && !stopping_.load(std::memory_order_relaxed) &&
       pause_depth_.load(std::memory_order_relaxed) == 0) {
+    // An armed aggregation slot must be age-flushed by progress(), so never
+    // sleep past its flush deadline — otherwise a coalesced message could sit
+    // in the slot for a full sleep_bound_ instead of aggregation_flush_us.
+    std::chrono::microseconds bound = sleep_bound_;
+    for (device_impl_t* device : worker->devices) {
+      if (device->has_armed_aggregation()) {
+        const auto flush_us = std::chrono::microseconds(
+            std::max<uint64_t>(1, device->agg_flush_us()));
+        bound = std::min(bound, flush_us);
+      }
+    }
     std::unique_lock<std::mutex> lock(waiter.mutex);
     if (waiter.seq.load(std::memory_order_seq_cst) == observed) {
       runtime_->counters().add(counter_id_t::progress_sleeps);
       slept = true;
       // Bounded: a missed ring (doorbells are hints) costs at most
       // sleep_bound_ of latency, never liveness.
-      waiter.cv.wait_for(lock, sleep_bound_, [&]() {
+      waiter.cv.wait_for(lock, bound, [&]() {
         return waiter.seq.load(std::memory_order_relaxed) != observed ||
                stopping_.load(std::memory_order_relaxed) ||
                pause_depth_.load(std::memory_order_relaxed) != 0;

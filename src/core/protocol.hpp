@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "core/lci.hpp"
 
@@ -19,11 +20,12 @@ namespace lci::detail {
 
 struct msg_header_t {
   enum kind_t : uint8_t {
-    eager_send,  // matched against posted receives
-    eager_am,    // delivered to the rcomp completion object
-    rts,         // rendezvous request for a send-receive
-    rts_am,      // rendezvous request for an active message
-    rtr,         // rendezvous reply (ready to receive)
+    eager_send,   // matched against posted receives
+    eager_am,     // delivered to the rcomp completion object
+    rts,          // rendezvous request for a send-receive
+    rts_am,       // rendezvous request for an active message
+    rtr,          // rendezvous reply (ready to receive)
+    eager_batch,  // coalesced sequence of eager_send/eager_am sub-messages
   };
 
   uint8_t kind = eager_send;
@@ -34,6 +36,30 @@ struct msg_header_t {
   uint32_t reserved = 0;
 };
 static_assert(sizeof(msg_header_t) == 16);
+
+// Sub-message header inside an eager_batch payload: the batch payload is a
+// sequence of [batch_sub_header_t][data] entries packed back to back, each
+// data block padded to 8-byte alignment so sub-headers stay aligned. The
+// sub-header carries exactly the msg_header_t fields a single eager message
+// would have carried, plus its payload size.
+struct batch_sub_header_t {
+  uint8_t kind = msg_header_t::eager_send;  // eager_send or eager_am
+  uint8_t policy = 0;
+  uint16_t engine_id = 0;
+  uint32_t size = 0;  // payload bytes (unpadded)
+  tag_t tag = 0;
+  rcomp_t rcomp = rcomp_null;
+};
+static_assert(sizeof(batch_sub_header_t) == 16);
+
+inline constexpr std::size_t batch_align = 8;
+inline constexpr std::size_t batch_pad(std::size_t size) noexcept {
+  return (size + batch_align - 1) & ~(batch_align - 1);
+}
+// Bytes one sub-message occupies inside a batch payload.
+inline constexpr std::size_t batch_entry_bytes(std::size_t size) noexcept {
+  return sizeof(batch_sub_header_t) + batch_pad(size);
+}
 
 struct rts_payload_t {
   uint64_t size = 0;     // total message size

@@ -1,6 +1,8 @@
 // Runtime object: wraps default configuration and communication resources
 // (paper Sec. 3.2.2 / 4.1).
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <mutex>
 
 #include "core/runtime_impl.hpp"
@@ -251,9 +253,19 @@ void put_packet(packet_handle_t handle) {
 
 void release_am_packet(const status_t& status) {
   if (status.buffer.base == nullptr) return;
-  auto* packet = detail::packet_t::from_payload(
-      static_cast<char*>(status.buffer.base) - sizeof(detail::msg_header_t));
-  packet->pool->put(packet);
+  // The delivery path stamps an am_packet_ref_t immediately before the
+  // payload (over the already-consumed wire header), so this works for both
+  // standalone AM packets and sub-messages inside an eager_batch (which share
+  // one refcounted packet).
+  detail::am_packet_ref_t ref;
+  std::memcpy(&ref, static_cast<char*>(status.buffer.base) -
+                        sizeof(detail::am_packet_ref_t),
+              sizeof(ref));
+  assert(ref.magic == detail::am_packet_magic &&
+         "release_am_packet: buffer was not delivered in packet mode");
+  if (ref.owner->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ref.owner->pool->put(ref.owner);
+  }
 }
 
 rmr_t get_rmr(mr_t mr) {

@@ -238,7 +238,7 @@ struct recv_entry_t {
 // alone, so an op completes exactly once no matter how many of {match,
 // cancel(), deadline sweep, dead-peer purge} race for it.
 // ---------------------------------------------------------------------------
-enum class op_kind_t : uint8_t { recv, rdv_send, rdv_recv, backlog };
+enum class op_kind_t : uint8_t { recv, rdv_send, rdv_recv, backlog, coalesced };
 
 struct op_record_t {
   static constexpr uint8_t st_live = 0;
@@ -273,6 +273,37 @@ struct op_record_t {
   uint64_t deadline_ns = 0;  // 0 = no deadline (tracked for cancel only)
 };
 
+// ---------------------------------------------------------------------------
+// Eager-message coalescing (docs/INTERNALS.md "Message coalescing"): one
+// aggregation slot per (device, peer). Buffered sub-operations that owe a
+// completion (allow_done=false, or tracked with a deadline/handle) park an
+// agg_pending_t in the slot; the flush that posts the batch resolves them —
+// done on a successful post, fatal_peer_down on a dead peer, fatal_canceled
+// on a drain abort. Sub-ops posted with allow_done=true complete `done` at
+// copy time and owe nothing. For tracked entries the record-state CAS is the
+// arbitration point against cancel()/deadline-sweep, so each sub-op
+// completes exactly once no matter who gets there first.
+// ---------------------------------------------------------------------------
+struct agg_pending_t {
+  comp_impl_t* comp = nullptr;
+  void* buffer = nullptr;
+  std::size_t size = 0;
+  tag_t tag = 0;
+  void* user_context = nullptr;
+  std::shared_ptr<op_record_t> record;  // set only for tracked sub-ops
+};
+
+struct agg_slot_t {
+  util::spinlock_t lock;
+  packet_t* packet = nullptr;  // staging packet; null = slot empty
+  uint32_t bytes = 0;          // batch payload bytes used (headers + padding)
+  uint32_t msgs = 0;
+  // now_ns() of the first buffered sub-message; 0 = slot empty. Atomic so
+  // the flush paths can peek for armed/aged slots without the lock.
+  std::atomic<uint64_t> armed_ns{0};
+  std::vector<agg_pending_t> pending;
+};
+
 // Context attached to network operations so completions can be dispatched.
 enum class ctx_kind_t : uint8_t { rdv_write, rma_put, rma_get };
 struct op_ctx_t {
@@ -288,6 +319,11 @@ struct op_ctx_t {
 // ---------------------------------------------------------------------------
 // Device
 // ---------------------------------------------------------------------------
+
+// Upper bound of runtime_attr_t::cq_poll_burst (sizes the progress loop's
+// stack CQE array).
+inline constexpr std::size_t max_cq_poll_burst = 64;
+
 class device_impl_t {
  public:
   device_impl_t(runtime_impl_t* runtime, std::size_t prepost_depth,
@@ -310,10 +346,56 @@ class device_impl_t {
 
   bool progress();  // defined in progress.cpp
 
+  // --- Eager-message coalescing (defined in coalesce.cpp) -------------------
+  // Resolved policy for this device (runtime attrs with 0-defaults filled).
+  bool aggregation_default() const noexcept { return agg_default_; }
+  std::size_t agg_eager_max() const noexcept { return agg_eager_max_; }
+  std::size_t agg_max_bytes() const noexcept { return agg_max_bytes_; }
+  std::size_t agg_max_msgs() const noexcept { return agg_max_msgs_; }
+  uint64_t agg_flush_us() const noexcept { return agg_flush_us_; }
+  std::size_t cq_poll_burst() const noexcept { return cq_poll_burst_; }
+  // True while any slot holds buffered sub-messages (bounds the engine's
+  // condvar sleep so an armed slot cannot outwait its flush deadline).
+  bool has_armed_aggregation() const noexcept {
+    return armed_slots_.load(std::memory_order_acquire) > 0;
+  }
+  // Appends one eager sub-message (eager_send or eager_am) to the peer's
+  // slot, posting the current batch first when it would overflow. Returns
+  // done (copy made, nothing owed), posted (completion deferred to the
+  // flush), retry, or a fatal status.
+  status_t agg_append(const post_args_t& args, uint8_t kind,
+                      packet_pool_impl_t* pool,
+                      matching_engine_impl_t* engine);
+  // Posts armed batches (rank < 0: every slot; older_than_ns != 0: only
+  // slots armed at or before that stamp). Returns batches posted.
+  std::size_t flush_aggregation(int rank = -1, uint64_t older_than_ns = 0);
+  // The matching-order rule: called before any non-aggregated message is
+  // posted to `rank`. done = slot empty or batch posted; retry = the batch
+  // could not go out, so the caller's message must bounce with retry too;
+  // fatal_peer_down = the peer is dead (slot aborted).
+  errorcode_t flush_peer_for_ordering(int rank);
+  // Fails every buffered sub-op with `code` (exactly once, via the record
+  // CAS for tracked entries) and discards slot contents. rank < 0 = all.
+  std::size_t abort_aggregation(int rank, errorcode_t code);
+
  private:
   bool replenish_preposts();
   bool handle_cqe(const net::cqe_t& cqe);
   void handle_recv(const net::cqe_t& cqe);
+  void handle_batch_recv(const net::cqe_t& cqe);  // defined in coalesce.cpp
+  agg_slot_t& agg_slot(int rank) noexcept {
+    return agg_slots_[static_cast<std::size_t>(rank)];
+  }
+  // Posts the slot's batch; caller holds slot.lock. On ok (returns done) or
+  // peer_down the slot's pending entries are detached into `resolved` —
+  // completions are delivered by the caller *after* dropping the lock, since
+  // handlers may re-enter the posting path — and the slot is cleared. On a
+  // retry code the slot is left intact.
+  errorcode_t post_batch_locked(agg_slot_t& slot, int rank,
+                                std::vector<agg_pending_t>& resolved);
+  // Discards the slot's contents (caller holds slot.lock), detaching the
+  // pending entries into `out` for the caller to fail after unlock.
+  void detach_slot_locked(agg_slot_t& slot, std::vector<agg_pending_t>& out);
 
   runtime_impl_t* const runtime_;
   const std::size_t prepost_depth_;
@@ -321,6 +403,18 @@ class device_impl_t {
   doorbell_impl_t doorbell_;
   std::unique_ptr<net::device_t> net_device_;
   backlog_queue_t backlog_;
+
+  // Aggregation slots, one per peer, plus the resolved policy. armed_slots_
+  // counts slots holding data so the (default-off) fast paths stay a single
+  // relaxed load.
+  std::unique_ptr<agg_slot_t[]> agg_slots_;
+  std::atomic<int> armed_slots_{0};
+  bool agg_default_ = false;
+  std::size_t agg_eager_max_ = 0;
+  std::size_t agg_max_bytes_ = 0;
+  std::size_t agg_max_msgs_ = 0;
+  uint64_t agg_flush_us_ = 0;
+  std::size_t cq_poll_burst_ = 32;
 };
 
 // ---------------------------------------------------------------------------

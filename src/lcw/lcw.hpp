@@ -103,6 +103,16 @@ struct config_t {
   // reports true) and workers only need the poll_* calls. Other backends
   // ignore this.
   int nprogress_threads = 0;
+  // lci backend: coalesce small eager sends/AMs into per-peer batches
+  // (lci runtime_attr_t::allow_aggregation). Other backends ignore this.
+  bool enable_aggregation = false;
+  // lci backend, with enable_aggregation: how long (microseconds) progress
+  // may hold an armed batch before flushing it. 0 (default) flushes whatever
+  // accumulated on every progress poll — no added latency, batches only form
+  // between polls. A small positive hold lets slots fill toward
+  // aggregation_max_msgs under windowed/streaming traffic at the cost of a
+  // bounded delivery delay (the classic parcel-coalescing trade).
+  uint64_t aggregation_flush_us = 0;
 };
 
 // Collective call: every rank must allocate its context before any traffic

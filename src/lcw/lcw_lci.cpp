@@ -118,6 +118,14 @@ class lci_context_t final : public context_t {
       attr.nprogress_threads =
           static_cast<std::size_t>(config.nprogress_threads);
     }
+    attr.allow_aggregation = config.enable_aggregation;
+    // Default flush-age 0 = "whatever accumulated since the last progress
+    // poll": batches form between polls without the runtime's 100us timer
+    // ever adding latency to this wrapper's poll-driven workloads. Callers
+    // running windowed/streaming traffic can pass a small hold instead so
+    // slots fill toward aggregation_max_msgs.
+    if (config.enable_aggregation)
+      attr.aggregation_flush_us = config.aggregation_flush_us;
     runtime_ = lci::alloc_runtime(attr);
     devices_.reserve(static_cast<std::size_t>(config.ndevices));
     for (int i = 0; i < config.ndevices; ++i)

@@ -58,6 +58,14 @@ int sim_fabric_t::register_device(int rank, int context,
   return static_cast<int>(slot->devices.push_back(device));
 }
 
+void sim_fabric_t::publish_device(int rank, int context, int index,
+                                  sim_device_t* device) {
+  rank_state_t& state = *ranks_[static_cast<std::size_t>(rank)];
+  context_devices_t* slot =
+      state.contexts.get(static_cast<std::size_t>(context));
+  slot->devices.put(static_cast<std::size_t>(index), device);
+}
+
 void sim_fabric_t::unregister_device(int rank, int context, int index) {
   rank_state_t& state = *ranks_[static_cast<std::size_t>(rank)];
   context_devices_t* slot =

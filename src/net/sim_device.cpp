@@ -15,7 +15,12 @@ sim_device_t::sim_device_t(sim_fabric_t* fabric, int rank, int context)
     qp_locks_ = std::make_unique<util::try_lock_wrapper_t[]>(
         static_cast<std::size_t>(fabric_->nranks()));
   }
-  index_ = fabric_->register_device(rank_, context_, this);
+  // Reserve the registry slot first (its index feeds the RNG derivation)
+  // but publish `this` only once construction is complete: route() skips
+  // null slots, so no peer can reach a half-built device. Registering the
+  // pointer up front let a fast peer's wire_push draw from the fault RNG
+  // while this constructor was still seeding it.
+  index_ = fabric_->register_device(rank_, context_, nullptr);
   // Derive this device's fault-injection stream from its coordinates so a
   // fixed policy seed reproduces the same per-device decision sequence.
   uint64_t mix = fabric_->config().fault.seed;
@@ -23,6 +28,7 @@ sim_device_t::sim_device_t(sim_fabric_t* fabric, int rank, int context)
   mix ^= util::splitmix64(mix) + static_cast<uint64_t>(context_);
   mix ^= util::splitmix64(mix) + static_cast<uint64_t>(index_);
   fault_rng_ = util::xoshiro256_t(mix);
+  fabric_->publish_device(rank_, context_, index_, this);
 }
 
 sim_device_t::~sim_device_t() {
@@ -258,7 +264,7 @@ bool sim_device_t::wire_push(wire_msg_t msg) {
   return true;
 }
 
-bool sim_device_t::deliver_one(wire_msg_t& msg) {
+bool sim_device_t::deliver_one(wire_msg_t& msg, uint64_t& now_cache) {
   if (msg.defer_polls > 0) {
     // Injected delivery delay: skip this attempt. The message stays at the
     // head of its FIFO (wire or RNR stash), so per-sender order holds.
@@ -267,12 +273,15 @@ bool sim_device_t::deliver_one(wire_msg_t& msg) {
   }
   if (msg.ready_ns != 0) {
     // Timing model: not yet "on this side of the wire". FIFO per sender, so
-    // head-of-line blocking here is the modelled serialization.
-    const auto now = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-    if (now < msg.ready_ns) return false;
+    // head-of-line blocking here is the modelled serialization. One clock
+    // read per delivery burst: the caller's cache persists across messages.
+    if (now_cache == 0) {
+      now_cache = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
+    if (now_cache < msg.ready_ns) return false;
   }
   if (msg.kind == op_t::send) {
     prepost_t prepost;
@@ -302,6 +311,7 @@ bool sim_device_t::deliver_one(wire_msg_t& msg) {
 void sim_device_t::deliver_from_wire() {
   const std::size_t burst = fabric_->config().poll_burst;
   std::size_t delivered = 0;
+  uint64_t now_cache = 0;  // lazily filled by the first timed message
   // Messages stalled earlier on receiver-not-ready go first (they are older).
   while (!rnr_stash_.empty() && delivered < burst) {
     if (fabric_->is_dead(rnr_stash_.front().src_rank)) {
@@ -310,7 +320,7 @@ void sim_device_t::deliver_from_wire() {
       rnr_stash_.pop_front();
       continue;
     }
-    if (!deliver_one(rnr_stash_.front())) return;
+    if (!deliver_one(rnr_stash_.front(), now_cache)) return;
     rnr_stash_.pop_front();
     ++delivered;
   }
@@ -321,7 +331,7 @@ void sim_device_t::deliver_from_wire() {
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (!deliver_one(*msg)) {
+    if (!deliver_one(*msg, now_cache)) {
       rnr_stash_.push_back(std::move(*msg));
       break;
     }

@@ -119,7 +119,9 @@ class sim_device_t final : public device_t {
 
   // Under the polling lock: move deliverable wire messages into the CQ.
   void deliver_from_wire();
-  bool deliver_one(wire_msg_t& msg);  // false: RNR (no pre-posted recv)
+  // false: RNR (no pre-posted recv). now_cache amortizes the clock read
+  // across a delivery burst: 0 = not read yet, filled on first timed message.
+  bool deliver_one(wire_msg_t& msg, uint64_t& now_cache);
 
   // Rings the registered doorbell (if any): new work is observable on this
   // device. Called by peers from wire_push and locally after pushing
@@ -205,7 +207,10 @@ class sim_fabric_t final : public fabric_t,
   void note_post(int rank);
 
   // Device registry, scoped by context index (connection namespace).
+  // register_device reserves a slot (pass nullptr to keep it unroutable);
+  // publish_device makes a fully constructed device visible to route().
   int register_device(int rank, int context, sim_device_t* device);
+  void publish_device(int rank, int context, int index, sim_device_t* device);
   void unregister_device(int rank, int context, int index);
   // RAII pin on a target rank's device registry: while held, a pointer
   // returned by route() (and the doorbell it rings) stays valid —

@@ -141,13 +141,24 @@ TEST(Deadline, CompletedRecvNeverTimesOutRetroactively) {
       lci::progress();
     } while (ss.error.is_retry());
     if (rs.error.is_posted()) lci::sync_wait(sync, &rs);
-    ASSERT_TRUE(rs.error.is_done());
-    // Outlive the deadline, keep progressing: no late fatal completion.
-    std::this_thread::sleep_for(std::chrono::milliseconds(60));
-    for (int i = 0; i < 100; ++i) lci::progress();
-    const lci::counters_t c = lci::get_counters();
-    EXPECT_EQ(c.ops_timed_out, 0u);
-    EXPECT_EQ(c.comp_fatal, 0u);
+    if (rs.error.is_done()) {
+      // Outlive the deadline, keep progressing: no late fatal completion.
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      for (int i = 0; i < 100; ++i) lci::progress();
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.ops_timed_out, 0u);
+      EXPECT_EQ(c.comp_fatal, 0u);
+    } else {
+      // On an oversubscribed host the 50 ms can legitimately elapse before
+      // the peer's send lands. The retroactivity property isn't exercised
+      // this run, but the timeout must still be a clean exactly-once
+      // delivery — and this rank must reach the barrier either way (an
+      // early return here would hang the peer for the full ctest timeout).
+      EXPECT_EQ(rs.error.code, lci::errorcode_t::fatal_timeout);
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.ops_timed_out, 1u);
+      EXPECT_EQ(c.comp_fatal, 1u);
+    }
     lci::barrier();
     lci::free_comp(&sync);
     lci::g_runtime_fina();
@@ -197,6 +208,72 @@ TEST(PeerDeath, KillPeerHookFailsParkedAndFuturePosts) {
       const lci::device_attr_t attr = lci::get_attr(lci::device_t{});
       ASSERT_EQ(attr.dead_peers.size(), 1u);
       EXPECT_EQ(attr.dead_peers[0], 1);
+      lci::free_comp(&cq);
+    }
+    finished.fetch_add(1, std::memory_order_release);
+    while (finished.load(std::memory_order_acquire) < 2) {
+      lci::progress();
+      std::this_thread::yield();
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+// Aggregation + kill_peer(): sub-operations buffered in an aggregation slot
+// for a peer that dies before any flush must each surface exactly once with
+// fatal_peer_down. The owed-pop audit (drain the queue, then keep polling)
+// proves none are lost and none are delivered twice.
+TEST(PeerDeath, FlushToDeadPeerFailsBufferedSubOpsOnce) {
+  std::atomic<int> finished{0};
+  lci::sim::spawn(2, [&](int rank) {
+    lci::runtime_attr_t attr = small_attr();
+    attr.allow_aggregation = true;
+    attr.aggregation_flush_us = 1000000;  // no age flush: only the purge
+    lci::g_runtime_init(attr);
+    if (rank == 0) {
+      constexpr int buffered = 6;
+      lci::comp_t cq = lci::alloc_cq();
+      char bufs[buffered][16];
+      const lci::counters_t base = lci::get_counters();
+      for (int i = 0; i < buffered; ++i) {
+        std::memset(bufs[i], 'a' + i, sizeof(bufs[i]));
+        lci::status_t ss;
+        do {
+          ss = lci::post_send_x(1, bufs[i], sizeof(bufs[i]),
+                                static_cast<lci::tag_t>(i), cq)
+                   .allow_done(false)();
+          if (ss.error.is_retry()) lci::progress();
+        } while (ss.error.is_retry());
+        ASSERT_TRUE(ss.error.is_posted());
+      }
+      EXPECT_EQ(lci::get_counters().send_coalesced - base.send_coalesced,
+                static_cast<uint64_t>(buffered));
+
+      EXPECT_TRUE(lci::kill_peer(1));
+
+      // The purge force-fails the buffered slot: every parked sub-op comes
+      // back through its own queue with fatal_peer_down.
+      int fatal = 0;
+      while (fatal < buffered) {
+        lci::progress();
+        const lci::status_t st = lci::cq_pop(cq);
+        if (st.error.is_retry()) continue;
+        ASSERT_EQ(st.error.code, lci::errorcode_t::fatal_peer_down);
+        EXPECT_EQ(st.rank, 1);
+        ++fatal;
+      }
+      // Owed-pop audit: exactly `buffered` completions, never one more.
+      for (int i = 0; i < 50; ++i) {
+        lci::progress();
+        EXPECT_TRUE(lci::cq_pop(cq).error.is_retry());
+      }
+      // The slot died with the peer: nothing is left to flush.
+      EXPECT_EQ(lci::flush(), 0u);
+      const lci::counters_t c = lci::get_counters();
+      EXPECT_EQ(c.peer_down_completions - base.peer_down_completions,
+                static_cast<uint64_t>(buffered));
+      EXPECT_EQ(c.comp_fatal - base.comp_fatal,
+                static_cast<uint64_t>(buffered));
       lci::free_comp(&cq);
     }
     finished.fetch_add(1, std::memory_order_release);

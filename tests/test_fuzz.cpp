@@ -23,18 +23,30 @@ void fill_payload(std::vector<char>& buf, uint64_t key) {
   for (auto& b : buf) b = static_cast<char>(rng());
 }
 
-class Fuzz : public ::testing::TestWithParam<uint64_t> {};
+// (seed, aggregation): every schedule replays with eager coalescing off and
+// on. Aggregation must be invisible to the oracle — per-key FIFO holds
+// because the matching-order flush keeps coalesced and bypass traffic to a
+// peer in posted order on the wire.
+class Fuzz : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 
 // Mixed tagged traffic: each rank issues a random schedule of sends and
 // receives; tags are drawn from a small space so multiple messages queue on
 // the same key (exercising per-key FIFO and the unexpected path). The oracle
 // is per-(direction, tag) sequence numbers: per-key delivery is FIFO, so the
-// i-th receive on a tag must carry the i-th payload sent on it.
+// i-th receive on a tag must carry the i-th payload sent on it. Sizes span
+// inject/bcopy/rendezvous, so with aggregation on the schedule constantly
+// alternates coalesced messages with ordering-flush bypass traffic; the
+// fabric injects seeded retries and delivery delays on top.
 TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
-  const uint64_t seed = GetParam();
+  const auto [seed, aggregation] = GetParam();
+  lci::net::config_t fabric;
+  fabric.fault.retry_rate = 0.05;
+  fabric.fault.delay_rate = 0.05;
+  fabric.fault.seed = seed ^ 0xfa017ull;
   lci::sim::spawn(2, [&](int rank) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
+    attr.allow_aggregation = aggregation;
     lci::g_runtime_init(attr);
     const int peer = 1 - rank;
     lci::util::xoshiro256_t rng(seed ^ (0x1234u * (rank + 1)));
@@ -172,17 +184,18 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
     lci::free_comp(&rsync);
     lci::free_comp(&scq);
     lci::g_runtime_fina();
-  });
+  }, fabric);
 }
 
 // Random RMA traffic: puts at random offsets into the peer's window with a
 // shadow copy maintained locally; a final bulk get must observe exactly the
 // shadow state.
 TEST_P(Fuzz, RmaPutsMatchShadow) {
-  const uint64_t seed = GetParam();
+  const auto [seed, aggregation] = GetParam();
   lci::sim::spawn(2, [&](int rank) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
+    attr.allow_aggregation = aggregation;
     lci::g_runtime_init(attr);
     const int peer = 1 - rank;
     constexpr std::size_t window_size = 8192;
@@ -236,11 +249,14 @@ TEST_P(Fuzz, RmaPutsMatchShadow) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
-                         ::testing::Values(1ull, 0xdeadbeefull, 42ull,
-                                           0xabcdef0123ull),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.index);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, Fuzz,
+    ::testing::Combine(::testing::Values(1ull, 0xdeadbeefull, 42ull,
+                                         0xabcdef0123ull),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_agg" : "");
+    });
 
 }  // namespace
