@@ -6,15 +6,19 @@
 // reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/lci.hpp"
 #include "net/net.hpp"
 
 namespace bench {
@@ -29,15 +33,26 @@ inline double env_double(const char* name, double fallback) {
   return value != nullptr ? std::atof(value) : fallback;
 }
 
+// CI smoke mode: LCI_BENCH_SMOKE=1 shrinks iteration counts and thread
+// sweeps so the full bench suite finishes in CI minutes, while keeping the
+// row schema identical to a full run (the regression checker joins rows on
+// their config fields, so a smoke run compares against a smoke baseline).
+inline bool smoke() { return env_long("LCI_BENCH_SMOKE", 0) != 0; }
+
 // Global scale knobs: LCI_BENCH_MAX_THREADS caps thread sweeps (the paper
 // sweeps to 128 threads on 128-core nodes; pick what your host can bear),
 // LCI_BENCH_ITERS scales per-thread iteration counts.
 inline int max_threads() {
-  return static_cast<int>(env_long("LCI_BENCH_MAX_THREADS", 8));
+  const int cap = static_cast<int>(env_long("LCI_BENCH_MAX_THREADS", 8));
+  return smoke() ? std::min(cap, 8) : cap;
 }
 inline long iters(long dflt) {
   const long scale = env_long("LCI_BENCH_ITERS", 0);
-  return scale > 0 ? scale : dflt;
+  if (scale > 0) return scale;
+  // Smoke caps rather than divides: the microbenchmarks already default to
+  // ~2000 iterations (seconds of wall clock) and dividing further makes the
+  // rates too noisy to gate on; the cap only bites the long mini-app runs.
+  return smoke() ? std::min(dflt, 2000L) : dflt;
 }
 
 // Optional wire timing model for every bench: LCI_BENCH_LATENCY_US and
@@ -95,9 +110,16 @@ inline void print_header(const char* title, const char* columns) {
 }
 
 // Machine-readable results next to the human-readable tables: every bench
-// writes BENCH_<name>.json ({"bench": ..., "rows": [{...}, ...]}) so sweeps
-// can be scripted/plotted without scraping stdout. LCI_BENCH_JSON=0 disables;
-// LCI_BENCH_JSON_DIR overrides the output directory (default: cwd).
+// writes BENCH_<name>.json ({"bench": ..., "meta": {...}, "rows": [...]})
+// so sweeps can be scripted/plotted without scraping stdout.
+// LCI_BENCH_JSON=0 disables; LCI_BENCH_JSON_DIR overrides the output
+// directory (default: build/bench_reports/ under the current directory,
+// created on demand — reports used to land in whatever directory the binary
+// ran from, silently overwriting the checked-in baselines on an in-tree
+// run). The "meta" object records the machine/config context a number is
+// meaningless without; when tracing is enabled (LCI_TRACE=1) a "perf"
+// object adds the merged post-to-completion / progress-poll latency
+// histograms (count, p50/p99/max ns).
 class json_report_t {
  public:
   explicit json_report_t(std::string name) : name_(std::move(name)) {}
@@ -128,16 +150,16 @@ class json_report_t {
   void write() {
     if (written_ || env_long("LCI_BENCH_JSON", 1) == 0) return;
     written_ = true;
-    const char* dir = std::getenv("LCI_BENCH_JSON_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
-        name_ + ".json";
+    const std::string path = output_path();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "json_report: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    write_meta(f);
+    write_perf(f);
+    std::fprintf(f, "  \"rows\": [");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
       const auto& row = rows_[i];
@@ -150,6 +172,15 @@ class json_report_t {
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
     std::printf("json: %s (%zu rows)\n", path.c_str(), rows_.size());
+    // LCI_TRACE_DUMP=<path>: export the Chrome trace alongside the report
+    // (only meaningful when the run was traced; see scripts/trace_summary.py).
+    if (const char* trace_path = std::getenv("LCI_TRACE_DUMP")) {
+      if (lci::trace_dump_json(trace_path))
+        std::printf("trace: %s\n", trace_path);
+      else
+        std::fprintf(stderr, "json_report: cannot write trace %s\n",
+                     trace_path);
+    }
   }
 
  private:
@@ -157,6 +188,81 @@ class json_report_t {
     if (rows_.empty()) rows_.emplace_back();
     rows_.back().emplace_back(key, std::move(rendered));
     return *this;
+  }
+
+  std::string output_path() const {
+    const char* env_dir = std::getenv("LCI_BENCH_JSON_DIR");
+    std::string dir = env_dir != nullptr ? std::string(env_dir)
+                                         : std::string("build/bench_reports");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec && !std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "json_report: cannot create %s (%s), using cwd\n",
+                   dir.c_str(), ec.message().c_str());
+      dir = ".";
+    }
+    return dir + "/BENCH_" + name_ + ".json";
+  }
+
+  void write_meta(std::FILE* f) const {
+    char timestamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr)
+      std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                    &tm_utc);
+    std::fprintf(f,
+                 "  \"meta\": {\"hardware_threads\": %u, "
+                 "\"compiler\": \"%s\", \"build\": \"%s\", "
+                 "\"smoke\": %d, \"max_threads\": %d, \"timestamp\": "
+                 "\"%s\"},\n",
+                 std::thread::hardware_concurrency(), compiler_id(),
+#ifdef NDEBUG
+                 "optimized",
+#else
+                 "debug",
+#endif
+                 smoke() ? 1 : 0, max_threads(), timestamp);
+  }
+
+  static const char* compiler_id() {
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+  }
+
+  // When the run was traced (LCI_TRACE=1 or .trace(true)), fold the merged
+  // latency histograms into the report so every BENCH_*.json carries
+  // percentiles next to its throughput rows. Counts are zero when tracing
+  // was off — then the section is omitted entirely.
+  void write_perf(std::FILE* f) const {
+    const lci::histograms_t h = lci::get_histograms();
+    const std::pair<const char*, const lci::latency_histogram_t*> entries[] = {
+        {"post_eager", &h.post_eager},   {"post_batch", &h.post_batch},
+        {"post_rdv", &h.post_rdv},       {"post_recv", &h.post_recv},
+        {"progress_poll", &h.progress_poll}};
+    bool any = false;
+    for (const auto& entry : entries) any |= entry.second->count > 0;
+    if (!any) return;
+    std::fprintf(f, "  \"perf\": {");
+    bool first = true;
+    for (const auto& entry : entries) {
+      if (entry.second->count == 0) continue;
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+                   "\"p99_ns\": %llu, \"max_ns\": %llu}",
+                   first ? "" : ",", entry.first,
+                   static_cast<unsigned long long>(entry.second->count),
+                   static_cast<unsigned long long>(entry.second->p50_ns),
+                   static_cast<unsigned long long>(entry.second->p99_ns),
+                   static_cast<unsigned long long>(entry.second->max_ns));
+      first = false;
+    }
+    std::fprintf(f, "\n  },\n");
   }
 
   std::string name_;

@@ -89,6 +89,7 @@ int main() {
       "# Latency companion benchmark: 8B AM ping-pong round-trip time\n"
       "# %ld samples per backend, single thread per rank\n",
       samples);
+  bench::json_report_t report("latency");
   bench::print_header("Round-trip latency",
                       "backend  median(us)   p99(us)");
   for (const auto backend :
@@ -96,6 +97,10 @@ int main() {
     const auto result = run_latency(backend, samples, fabric);
     std::printf("%7s  %10.2f  %8.2f\n", lcw::to_string(backend),
                 result.median_us, result.p99_us);
+    report.row()
+        .field("backend", std::string(lcw::to_string(backend)))
+        .field("median_us", result.median_us)
+        .field("p99_us", result.p99_us);
   }
   return 0;
 }

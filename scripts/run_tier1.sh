@@ -1,26 +1,29 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite three times: the default build, ThreadSanitizer
-# (LCI_SANITIZE=thread), and AddressSanitizer (LCI_SANITIZE=address). CI
-# gate: every leg must be green. A per-leg summary table prints at the end
-# (legs keep running after a failure so the table shows every result).
+# Runs the tier-1 test suite four times: the default build, ThreadSanitizer
+# (LCI_SANITIZE=thread), AddressSanitizer (LCI_SANITIZE=address), and
+# UndefinedBehaviorSanitizer (LCI_SANITIZE=undefined). CI gate: every leg
+# must be green. A per-leg summary table prints at the end (legs keep
+# running after a failure so the table shows every result).
 #
-# Usage: scripts/run_tier1.sh [build-dir] [tsan-build-dir] [asan-build-dir]
+# Usage: scripts/run_tier1.sh [build-dir] [tsan-dir] [asan-dir] [ubsan-dir]
 #   build-dir       default: build
 #   tsan-build-dir  default: build-tsan
 #   asan-build-dir  default: build-asan
+#   ubsan-build-dir default: build-ubsan
 #
 # Environment:
 #   CTEST_PARALLEL  parallel ctest jobs (default: 8)
 #   CMAKE_ARGS      extra arguments forwarded to all cmake configures
-#   LCI_TIER1_LEGS  space-separated subset of "default tsan asan" to run
+#   LCI_TIER1_LEGS  space-separated subset of "default tsan asan ubsan"
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 tsan_dir="${2:-${repo_root}/build-tsan}"
 asan_dir="${3:-${repo_root}/build-asan}"
+ubsan_dir="${4:-${repo_root}/build-ubsan}"
 jobs="${CTEST_PARALLEL:-8}"
-legs="${LCI_TIER1_LEGS:-default tsan asan}"
+legs="${LCI_TIER1_LEGS:-default tsan asan ubsan}"
 
 summary_labels=()
 summary_results=()
@@ -59,6 +62,10 @@ for leg in ${legs}; do
     asan)
       configure_and_test "${asan_dir}" "address-sanitizer" \
         -DLCI_SANITIZE=address
+      ;;
+    ubsan)
+      configure_and_test "${ubsan_dir}" "ub-sanitizer" \
+        -DLCI_SANITIZE=undefined
       ;;
     *)
       echo "unknown leg: ${leg}" >&2

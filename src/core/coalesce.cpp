@@ -56,9 +56,19 @@ std::size_t resolve_agg_pending(runtime_impl_t* runtime, int rank,
     if (p.record) {
       uint8_t expected = op_record_t::st_live;
       if (!p.record->state.compare_exchange_strong(
-              expected, op_record_t::st_terminal, std::memory_order_acq_rel))
+              expected, op_record_t::st_terminal, std::memory_order_acq_rel)) {
+        // Cancel/timeout won the completion; the span handle still lives
+        // here, so end it with the code the winner published.
+        trace::end_op(p.span, trace::kind_t::op_batch, trace::hist_t::post_batch,
+                      p.record->terminal_code.load(std::memory_order_relaxed),
+                      rank, p.tag, p.size);
         continue;
+      }
     }
+    const uint8_t err =
+        code == errorcode_t::done ? 0 : static_cast<uint8_t>(code);
+    trace::end_op(p.span, trace::kind_t::op_batch, trace::hist_t::post_batch,
+                  err, rank, p.tag, p.size);
     if (code == errorcode_t::done) {
       status_t status;
       status.error.code = errorcode_t::done;
@@ -92,12 +102,17 @@ packet_t* alloc_orphan_packet(packet_pool_impl_t* pool, std::size_t bytes) {
 }  // namespace
 
 void device_impl_t::detach_slot_locked(agg_slot_t& slot,
-                                       std::vector<agg_pending_t>& out) {
+                                       std::vector<agg_pending_t>& out,
+                                       errorcode_t code) {
   if (slot.packet == nullptr) return;
   slot.packet->pool->put(slot.packet);
   slot.packet = nullptr;
   for (agg_pending_t& p : slot.pending) out.push_back(std::move(p));
   slot.pending.clear();
+  trace::end(slot.span, trace::kind_t::batch_slot,
+             code == errorcode_t::done ? 0 : static_cast<uint8_t>(code),
+             /*rank=*/-1, /*tag=*/slot.msgs, /*size=*/slot.bytes);
+  slot.span = trace::span_t{};
   slot.bytes = 0;
   slot.msgs = 0;
   slot.armed_ns.store(0, std::memory_order_release);
@@ -117,14 +132,15 @@ errorcode_t device_impl_t::post_batch_locked(
   if (err.is_retry()) return err.code;  // slot stays armed
   // ok or peer_down: the slot empties either way (the simulated wire copies
   // synchronously, so the packet is reusable as soon as the post succeeds).
-  detach_slot_locked(slot, resolved);
+  detach_slot_locked(slot, resolved, err.code);
   if (err.is_done()) runtime_->counters().add(counter_id_t::batches_flushed);
   return err.code;
 }
 
 status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
                                    packet_pool_impl_t* pool,
-                                   matching_engine_impl_t* engine) {
+                                   matching_engine_impl_t* engine,
+                                   const trace::span_t& post_span) {
   const int rank = args.rank;
   const std::size_t size = args.size;
   const std::size_t entry_bytes = batch_entry_bytes(size);
@@ -136,7 +152,7 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
   {
     std::lock_guard<util::spinlock_t> guard(slot.lock);
     if (net_device_->is_peer_down(rank)) {
-      detach_slot_locked(slot, resolved);
+      detach_slot_locked(slot, resolved, errorcode_t::fatal_peer_down);
       resolved_code = errorcode_t::fatal_peer_down;
       status = make_fatal_status(runtime_, errorcode_t::fatal_peer_down, rank,
                                  args.tag, args.local_buffer, size,
@@ -167,6 +183,7 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
             slot.packet = packet;
             slot.bytes = 0;
             slot.msgs = 0;
+            slot.span = trace::begin(trace::kind_t::batch_slot, rank);
             slot.armed_ns.store(now_ns(), std::memory_order_release);
             armed_slots_.fetch_add(1, std::memory_order_acq_rel);
           }
@@ -186,6 +203,13 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
           slot.bytes += static_cast<uint32_t>(entry_bytes);
           slot.msgs += 1;
           runtime_->counters().add(counter_id_t::send_coalesced);
+          // Op-lifecycle span of this coalesced sub-op: opened at the post
+          // call's timestamp, closed when the flush resolves it (parked) or
+          // right here (done-at-copy, nothing owed).
+          const trace::span_t op_span = trace::begin_at(
+              post_span, trace::kind_t::op_batch, rank, args.tag, size);
+          trace::instant(trace::kind_t::coalesce, op_span.id, rank, args.tag,
+                         size);
 
           const bool tracked = args.deadline_us != 0 || args.out_op != nullptr;
           const bool park =
@@ -212,11 +236,14 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
                 record->deadline_ns = now_ns() + args.deadline_us * 1000;
               p.record = record;
             }
+            p.span = op_span;
             slot.pending.push_back(std::move(p));
             status = agg_status(errorcode_t::posted);
           } else {
             // Copy made, nothing owed: complete `done` exactly like a bcopy
             // send (the user's buffer is reusable).
+            trace::end_op(op_span, trace::kind_t::op_batch,
+                          trace::hist_t::post_batch, 0, rank, args.tag, size);
             status.error.code = errorcode_t::done;
             status.rank = rank;
             status.tag = args.tag;
@@ -236,6 +263,15 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
         }
       }
     }
+  }
+  if (status.error.is_fatal()) {
+    // Failed at posting time, never joined a batch: emit a zero-length op
+    // span pair so fatal posts still show up (errored) in a trace.
+    const trace::span_t op = trace::begin_at(
+        post_span, trace::kind_t::op_batch, rank, args.tag, size);
+    trace::end_op(op, trace::kind_t::op_batch, trace::hist_t::post_batch,
+                  static_cast<uint8_t>(status.error.code), rank, args.tag,
+                  size);
   }
   if (record) {
     runtime_->track_op(record);
@@ -303,7 +339,7 @@ std::size_t device_impl_t::abort_aggregation(int rank, errorcode_t code) {
     if (slot.armed_ns.load(std::memory_order_acquire) == 0) continue;
     {
       std::lock_guard<util::spinlock_t> guard(slot.lock);
-      detach_slot_locked(slot, detached);
+      detach_slot_locked(slot, detached, code);
     }
     completed += resolve_agg_pending(runtime_, peer, detached, code);
   }
@@ -354,6 +390,9 @@ void device_impl_t::handle_batch_recv(const net::cqe_t& cqe) {
       const auto key = engine->make_key(cqe.peer_rank, sub.tag, policy);
       if (void* matched = engine->try_match_recv(key)) {
         runtime_->counters().add(counter_id_t::recv_matched);
+        trace::instant(trace::kind_t::match,
+                       static_cast<recv_entry_t*>(matched)->span.id,
+                       cqe.peer_rank, sub.tag, data_size);
         complete_eager_recv(runtime_, static_cast<recv_entry_t*>(matched),
                             cqe.peer_rank, sub.tag, data, data_size, nullptr,
                             /*signal=*/true);
@@ -381,6 +420,9 @@ void device_impl_t::handle_batch_recv(const net::cqe_t& cqe) {
       if (matched != nullptr) {
         // A receive landed between the try_match and the insert.
         runtime_->counters().add(counter_id_t::recv_matched);
+        trace::instant(trace::kind_t::match,
+                       static_cast<recv_entry_t*>(matched)->span.id,
+                       cqe.peer_rank, sub.tag, data_size);
         complete_eager_recv(runtime_, static_cast<recv_entry_t*>(matched),
                             cqe.peer_rank, sub.tag,
                             standalone->payload() + sizeof(h), data_size,

@@ -29,6 +29,9 @@ void finish_failed_send(runtime_impl_t* runtime, rdv_send_t& send,
   if (send.record)
     send.record->state.store(op_record_t::st_terminal,
                              std::memory_order_release);
+  trace::end_op(send.span, trace::kind_t::op_rdv, trace::hist_t::post_rdv,
+                static_cast<uint8_t>(code), send.peer_rank, send.tag,
+                send.size);
   signal_comp(send.comp,
               make_fatal_status(runtime, code, send.peer_rank, send.tag,
                                 send.buffer, send.size, send.user_context));
@@ -49,6 +52,9 @@ void finish_failed_recv(runtime_impl_t* runtime, rdv_recv_t& recv,
     std::free(recv.buffer);
     user_buffer = nullptr;
   }
+  trace::end_op(recv.span, trace::kind_t::op_recv, trace::hist_t::post_recv,
+                static_cast<uint8_t>(code), recv.peer_rank, recv.tag,
+                recv.size);
   signal_comp(recv.comp,
               make_fatal_status(runtime, code, recv.peer_rank, recv.tag,
                                 user_buffer, recv.size, recv.user_context));
@@ -110,6 +116,10 @@ bool runtime_impl_t::finish_tracked_op(
     if (record->state.load(std::memory_order_acquire) ==
         op_record_t::st_terminal)
       return false;
+    // Published before any terminal transition below so a flush-time resolve
+    // that loses the record CAS can label its trace span with our code.
+    record->terminal_code.store(static_cast<uint8_t>(code),
+                                std::memory_order_relaxed);
     switch (record->kind) {
       case op_kind_t::recv: {
         if (record->engine == nullptr || record->entry == nullptr)
@@ -121,6 +131,9 @@ bool runtime_impl_t::finish_tracked_op(
                             std::memory_order_release);
         record->engine = nullptr;
         record->entry = nullptr;
+        trace::end_op(entry->span, trace::kind_t::op_recv,
+                      trace::hist_t::post_recv, static_cast<uint8_t>(code),
+                      record->rank, record->tag, entry->size);
         signal_comp(entry->comp,
                     make_fatal_status(this, code, record->rank, record->tag,
                                       entry->buffer, entry->size,
@@ -239,6 +252,10 @@ std::size_t runtime_impl_t::purge_dead_peer(int peer, bool everything) {
           entry->record->state.store(op_record_t::st_terminal,
                                      std::memory_order_release);
         }
+        trace::end_op(entry->span, trace::kind_t::op_recv,
+                      trace::hist_t::post_recv,
+                      static_cast<uint8_t>(errorcode_t::fatal_peer_down),
+                      entry->rank, entry->tag, entry->size);
         signal_comp(entry->comp,
                     make_fatal_status(this, errorcode_t::fatal_peer_down,
                                       entry->rank, entry->tag, entry->buffer,

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "core/counters.hpp"
+#include "core/trace.hpp"
 #include "net/net.hpp"
 
 namespace lci {
@@ -214,6 +216,43 @@ inline constexpr graph_node_t graph_node_null = ~graph_node_t{0};
 
 enum class cq_type_t : uint8_t { lcrq, array };
 
+namespace detail {
+
+// Environment defaults for the tracing attributes, so any binary (benchmarks,
+// shims, mini-apps) can be traced without plumbing attrs through its layers:
+// LCI_TRACE=1 enables tracing for every runtime that does not explicitly set
+// .trace(); LCI_TRACE_RING / LCI_TRACE_SAMPLE override ring capacity and the
+// 1-in-N sampling rate. Read once and cached.
+inline bool trace_env_default() {
+  static const bool value = []() {
+    const char* env = std::getenv("LCI_TRACE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return value;
+}
+
+inline std::size_t trace_env_ring() {
+  static const std::size_t value = []() -> std::size_t {
+    const char* env = std::getenv("LCI_TRACE_RING");
+    if (env == nullptr || env[0] == '\0') return std::size_t{1} << 14;
+    const long parsed = std::atol(env);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : std::size_t{1} << 14;
+  }();
+  return value;
+}
+
+inline uint32_t trace_env_sample() {
+  static const uint32_t value = []() -> uint32_t {
+    const char* env = std::getenv("LCI_TRACE_SAMPLE");
+    if (env == nullptr || env[0] == '\0') return 1;
+    const long parsed = std::atol(env);
+    return parsed > 0 ? static_cast<uint32_t>(parsed) : 1;
+  }();
+  return value;
+}
+
+}  // namespace detail
+
 struct runtime_attr_t {
   // Payload capacity of a packet; also the eager/rendezvous threshold for
   // send-receive and active messages.
@@ -271,6 +310,16 @@ struct runtime_attr_t {
   // CQEs drained per progress() poll of the network completion queue.
   // 0 = align with the fabric's configured poll burst; clamped to [1, 64].
   std::size_t cq_poll_burst = 0;
+  // Operation-lifecycle tracing (docs/INTERNALS.md "Tracing"): the runtime
+  // retains the process-global tracer while it lives. Zero-cost when false
+  // (one relaxed load behind every instrumentation point). The first traced
+  // runtime of a session installs ring capacity (events per thread, rounded
+  // up to a power of two) and the sampling rate (trace 1 op in N; wire and
+  // slot spans sample independently). Defaults come from LCI_TRACE /
+  // LCI_TRACE_RING / LCI_TRACE_SAMPLE.
+  bool trace = detail::trace_env_default();
+  std::size_t trace_ring_size = detail::trace_env_ring();
+  uint32_t trace_sample = detail::trace_env_sample();
 };
 
 // ---------------------------------------------------------------------------
@@ -314,6 +363,19 @@ class alloc_runtime_x {
   // Default eager-message coalescing policy for the runtime's devices.
   alloc_runtime_x& allow_aggregation(bool v) {
     attr_.allow_aggregation = v;
+    return *this;
+  }
+  // Operation-lifecycle tracing (runtime_attr_t::trace and friends).
+  alloc_runtime_x& trace(bool v) {
+    attr_.trace = v;
+    return *this;
+  }
+  alloc_runtime_x& trace_ring_size(std::size_t v) {
+    attr_.trace_ring_size = v;
+    return *this;
+  }
+  alloc_runtime_x& trace_sample(uint32_t v) {
+    attr_.trace_sample = v;
     return *this;
   }
   runtime_t operator()() const { return alloc_runtime(attr_); }

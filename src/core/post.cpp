@@ -116,11 +116,24 @@ status_t finish_immediate(const post_args_t& args, std::size_t size,
   return status;
 }
 
+// Op-lifecycle span for an operation that failed fatally at posting time:
+// begin+end emitted as a pair so fatal posts still show up as (zero-length,
+// errored) ops in a trace. Retries emit nothing — the op was never accepted.
+void trace_fatal_post(const trace::span_t& post_span, trace::kind_t kind,
+                      trace::hist_t hist, const status_t& failed,
+                      const post_args_t& args, std::size_t size) {
+  const trace::span_t op = trace::begin_at(post_span, kind, args.rank,
+                                           args.tag, size);
+  trace::end_op(op, kind, hist, static_cast<uint8_t>(failed.error.code),
+                args.rank, args.tag, size);
+}
+
 // ---------------------------------------------------------------------------
 // Eager OUT path (inject / buffer-copy) for sends and active messages.
 // ---------------------------------------------------------------------------
 status_t post_eager_out(const resolved_t& r, const post_args_t& args,
-                        uint8_t kind, bool via_backlog) {
+                        uint8_t kind, bool via_backlog,
+                        const trace::span_t& post_span) {
   const std::size_t size = payload_size(args);
   msg_header_t header;
   header.kind = kind;
@@ -139,9 +152,18 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
     gather(args, staging + sizeof(header));
     result = r.device->net().post_send(args.rank, staging, wire_size, 0,
                                        nullptr);
-    if (result != net::post_result_t::ok)
-      return failed_post_status(r, args, result);
+    if (result != net::post_result_t::ok) {
+      const status_t failed = failed_post_status(r, args, result);
+      if (failed.error.is_fatal())
+        trace_fatal_post(post_span, trace::kind_t::op_eager,
+                         trace::hist_t::post_eager, failed, args, size);
+      return failed;
+    }
     r.runtime->counters().add(counter_id_t::send_inject);
+    const trace::span_t op = trace::begin_at(post_span, trace::kind_t::op_eager,
+                                             args.rank, args.tag, size);
+    trace::end_op(op, trace::kind_t::op_eager, trace::hist_t::post_eager, 0,
+                  args.rank, args.tag, size);
     return finish_immediate(args, size, via_backlog);
   }
 
@@ -168,6 +190,9 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
     // result ends the op, so the packet is consumed either way.
     if (!args.from_packet || failed.error.is_fatal())
       packet->pool->put(packet);
+    if (failed.error.is_fatal())
+      trace_fatal_post(post_span, trace::kind_t::op_eager,
+                       trace::hist_t::post_eager, failed, args, size);
     return failed;
   }
   // The simulated wire copies synchronously, so the packet is reusable as
@@ -175,6 +200,10 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
   // send CQE instead). A from_packet post consumes the caller's packet.
   packet->pool->put(packet);
   r.runtime->counters().add(counter_id_t::send_bcopy);
+  const trace::span_t op = trace::begin_at(post_span, trace::kind_t::op_eager,
+                                           args.rank, args.tag, size);
+  trace::end_op(op, trace::kind_t::op_eager, trace::hist_t::post_eager, 0,
+                args.rank, args.tag, size);
   return finish_immediate(args, size, via_backlog);
 }
 
@@ -182,9 +211,12 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
 // Rendezvous OUT path (zero-copy) for sends and active messages.
 // ---------------------------------------------------------------------------
 status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
-                             uint8_t kind) {
+                             uint8_t kind, const trace::span_t& post_span) {
   const std::size_t size = payload_size(args);
   rdv_send_t state;
+  state.span = trace::begin_at(post_span, trace::kind_t::op_rdv, args.rank,
+                               args.tag, size);
+  const trace::span_t op_span = state.span;
   state.size = size;
   state.comp = args.local_comp.p;
   state.user_context = args.user_context;
@@ -237,9 +269,17 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
     if (rollback.record)
       rollback.record->state.store(op_record_t::st_terminal,
                                    std::memory_order_release);
-    return failed_post_status(r, args, result);
+    const status_t failed = failed_post_status(r, args, result);
+    // The op span opened above must close: fatal ends with the code, a
+    // transient retry ends with the retry code (the op never started; a
+    // resubmission opens a fresh span).
+    trace::end_op(rollback.span, trace::kind_t::op_rdv, trace::hist_t::post_rdv,
+                  static_cast<uint8_t>(failed.error.code), args.rank, args.tag,
+                  size);
+    return failed;
   }
   r.runtime->counters().add(counter_id_t::send_rdv);
+  trace::instant(trace::kind_t::rts, op_span.id, args.rank, args.tag, size);
   if (record) {
     r.runtime->track_op(record);
     if (args.out_op != nullptr) args.out_op->p = record;
@@ -252,7 +292,8 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
 // ---------------------------------------------------------------------------
 // Receive path.
 // ---------------------------------------------------------------------------
-status_t post_receive(const resolved_t& r, const post_args_t& args) {
+status_t post_receive(const resolved_t& r, const post_args_t& args,
+                      const trace::span_t& post_span) {
   // A receive that names its peer (rank not wildcarded by the policy) fails
   // immediately when that peer is already dead: no message from it can ever
   // arrive, and a queued entry would only be purged right back out.
@@ -272,6 +313,8 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
   entry->rank = args.rank;
   entry->tag = args.tag;
   if (args.buffers != nullptr) entry->list = args.buffers->list;
+  entry->span = trace::begin_at(post_span, trace::kind_t::op_recv, args.rank,
+                                args.tag, entry->size);
 
   const auto key =
       r.engine->make_key(args.rank, args.tag, args.matching_policy);
@@ -303,6 +346,10 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
         const status_t status = make_fatal_status(
             r.runtime, errorcode_t::fatal_peer_down, args.rank, args.tag,
             entry->buffer, entry->size, args.user_context);
+        trace::end_op(entry->span, trace::kind_t::op_recv,
+                      trace::hist_t::post_recv,
+                      static_cast<uint8_t>(errorcode_t::fatal_peer_down),
+                      args.rank, args.tag, entry->size);
         delete entry;
         return status;
       }
@@ -319,6 +366,8 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
 
   // (9)/(10): the posting procedure itself found the match.
   auto* packet = static_cast<packet_t*>(matched);
+  trace::instant(trace::kind_t::match, entry->span.id, packet->peer_rank,
+                 args.tag, packet->payload_size);
   const auto* header =
       reinterpret_cast<const msg_header_t*>(packet->payload());
   const char* data = packet->payload() + sizeof(msg_header_t);
@@ -344,6 +393,7 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
   state.user_context = entry->user_context;
   state.list = std::move(entry->list);
   state.record = std::move(entry->record);
+  state.span = entry->span;
   if (state.record) {
     std::lock_guard<util::spinlock_t> guard(state.record->lock);
     state.record->engine = nullptr;
@@ -364,9 +414,13 @@ status_t post_receive(const resolved_t& r, const post_args_t& args) {
   return status;
 }
 
-}  // namespace
-
-status_t post_comm_impl(const post_args_t& args) {
+// ---------------------------------------------------------------------------
+// Dispatch: Table-1 argument decoding. `post_span` is the (possibly null)
+// span covering the user's post_* call; the accepted-op paths open their
+// op-lifecycle span at its begin timestamp.
+// ---------------------------------------------------------------------------
+status_t post_comm_dispatch(const post_args_t& args,
+                            const trace::span_t& post_span) {
   const resolved_t r = resolve(args);
 
   if (args.rank < 0 || args.rank >= r.runtime->nranks())
@@ -440,7 +494,8 @@ status_t post_comm_impl(const post_args_t& args) {
                               : r.device->aggregation_default();
       if (agg_on && !args.from_packet && args.buffers == nullptr &&
           size <= r.device->agg_eager_max()) {
-        status = r.device->agg_append(args, eager_kind, r.pool, r.engine);
+        status =
+            r.device->agg_append(args, eager_kind, r.pool, r.engine, post_span);
       } else {
         // Matching-order rule: nothing may overtake a buffered batch to the
         // same peer. A retry here bounces this post too; peer_down lets the
@@ -456,9 +511,10 @@ status_t post_comm_impl(const post_args_t& args) {
         }
         if (!blocked) {
           if (size <= r.runtime->eager_threshold())
-            status = post_eager_out(r, args, eager_kind, /*via_backlog=*/false);
+            status = post_eager_out(r, args, eager_kind, /*via_backlog=*/false,
+                                    post_span);
           else
-            status = post_rendezvous_out(r, args, rdv_kind);
+            status = post_rendezvous_out(r, args, rdv_kind, post_span);
         }
       }
     }
@@ -512,7 +568,7 @@ status_t post_comm_impl(const post_args_t& args) {
         throw fatal_error_t(
             "invalid post_comm: IN direction with a remote completion but no "
             "remote buffer (Table 1)");
-      return post_receive(r, args);
+      return post_receive(r, args, post_span);
     }
   }
 
@@ -635,6 +691,27 @@ status_t post_comm_impl(const post_args_t& args) {
                             ? errorcode_t::posted_backlog
                             : errorcode_t::done_backlog;
   }
+  return status;
+}
+
+}  // namespace
+
+status_t post_comm_impl(const post_args_t& args) {
+  if (!trace::on()) return post_comm_dispatch(args, trace::span_t{});
+  const trace::span_t post_span = trace::begin(
+      trace::kind_t::post, args.rank, args.tag, payload_size(args));
+  status_t status;
+  try {
+    status = post_comm_dispatch(args, post_span);
+  } catch (...) {
+    trace::end(post_span, trace::kind_t::post,
+               static_cast<uint8_t>(errorcode_t::fatal), args.rank, args.tag,
+               payload_size(args));
+    throw;
+  }
+  trace::end(post_span, trace::kind_t::post,
+             static_cast<uint8_t>(status.error.code), args.rank, args.tag,
+             payload_size(args));
   return status;
 }
 

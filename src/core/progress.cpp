@@ -111,6 +111,9 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     if (state.record)
       state.record->state.store(op_record_t::st_terminal,
                                 std::memory_order_release);
+    trace::end_op(state.span, trace::kind_t::op_recv, trace::hist_t::post_recv,
+                  static_cast<uint8_t>(errorcode_t::fatal_truncated), peer_rank,
+                  tag, total_size);
     signal_comp(state.comp,
                 make_fatal_status(runtime, errorcode_t::fatal_truncated,
                                   peer_rank, tag, user_buffer,
@@ -145,6 +148,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
   state.mr = runtime->net_context().register_memory(state.buffer, state.size);
   const net::mr_id_t mr = state.mr;
   std::shared_ptr<op_record_t> record = state.record;
+  const uint64_t span_id = state.span.id;
   const uint32_t pending_id =
       runtime->pending_recvs().add(std::move(state));
   if (record) {
@@ -158,13 +162,15 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     record->entry = nullptr;
   }
   const status_t status = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+  if (status.error.is_done())
+    trace::instant(trace::kind_t::rtr, span_id, peer_rank, tag, total_size);
   if (status.error.is_retry()) {
     // (8): the progress engine cannot keep retrying; push onto the backlog.
     LCI_LOG_(debug, "rank %d: RTR to %d backlogged (pending %u)",
              runtime->rank(), peer_rank, pending_id);
     runtime->counters().add(counter_id_t::backlog_pushed);
     device->backlog().push([runtime, device, peer_rank, rdv_id, pending_id,
-                            mr](backlog_action_t a) {
+                            mr, span_id](backlog_action_t a) {
       if (a == backlog_action_t::cancel) {
         // The RTR was never sent, so no FIN will ever resolve the pending
         // receive: complete it here (unless a purge/timeout already did).
@@ -173,7 +179,9 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
         s.error.code = errorcode_t::fatal_canceled;
         return s;
       }
-      return send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+      const status_t s = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+      if (s.error.is_done()) trace::instant(trace::kind_t::rtr, span_id);
+      return s;
     });
     device->ring_doorbell();
   }
@@ -216,6 +224,11 @@ void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
     entry->record->state.store(op_record_t::st_terminal,
                                std::memory_order_release);
   }
+  trace::end_op(entry->span, trace::kind_t::op_recv, trace::hist_t::post_recv,
+                status.error.is_done()
+                    ? 0
+                    : static_cast<uint8_t>(status.error.code),
+                peer_rank, tag, size);
   if (signal) signal_comp(entry->comp, status);
   if (out_status != nullptr) *out_status = status;
   delete entry;
@@ -254,6 +267,8 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       if (matched == nullptr) return;  // unexpected: packet retained
       auto* entry = static_cast<recv_entry_t*>(matched);
       runtime_->counters().add(counter_id_t::recv_matched);
+      trace::instant(trace::kind_t::match, entry->span.id, cqe.peer_rank,
+                     header->tag, data_size);
       complete_eager_recv(runtime_, entry, cqe.peer_rank, header->tag, data,
                           data_size, nullptr, /*signal=*/true);
       packet->pool->put(packet);
@@ -303,6 +318,8 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       if (matched == nullptr) return;  // no receive yet: packet retained
       auto* entry = static_cast<recv_entry_t*>(matched);
       runtime_->counters().add(counter_id_t::recv_matched);
+      trace::instant(trace::kind_t::match, entry->span.id, cqe.peer_rank,
+                     header->tag, data_size);
       rts_payload_t rts;
       std::memcpy(&rts, data, sizeof(rts));
       rdv_recv_t state;
@@ -312,6 +329,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       state.user_context = entry->user_context;
       state.list = std::move(entry->list);
       state.record = std::move(entry->record);
+      state.span = entry->span;
       if (state.record) {
         // The receive is leaving the matching engine for the pending-recv
         // table; blank its old location before the entry is freed (see
@@ -340,6 +358,10 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       // (where ownership passes to the AM consumer); a fatal handshake frees
       // it here instead of leaking.
       state.runtime_owned_buffer = true;
+      // No posted receive exists for a rendezvous AM; open a fresh op span
+      // covering RTS arrival -> FIN delivery.
+      state.span = trace::begin(trace::kind_t::op_recv, cqe.peer_rank,
+                                header->tag, state.size);
       start_rendezvous_recv(runtime_, this, cqe.peer_rank, header->tag,
                             rts.rdv_id, rts.size, std::move(state));
       packet->pool->put(packet);
@@ -367,6 +389,9 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
         // Receiver refused the rendezvous (posted buffer too small). Fail
         // this send exactly once; the staged gather (if any) dies with
         // `send` when it goes out of scope.
+        trace::end_op(send.span, trace::kind_t::op_rdv, trace::hist_t::post_rdv,
+                      static_cast<uint8_t>(errorcode_t::fatal_truncated),
+                      send.peer_rank, send.tag, send.size);
         signal_comp(send.comp,
                     make_fatal_status(runtime_, errorcode_t::fatal_truncated,
                                       send.peer_rank, send.tag, send.buffer,
@@ -383,6 +408,9 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       ctx->size = send.size;
       ctx->rank = send.peer_rank;
       ctx->tag = send.tag;
+      // Hand the op span to the write phase; it ends at the write CQE (or in
+      // the attempt lambda's fatal/cancel arms).
+      ctx->span = send.span;
       // Keep the staged gather alive until the write completes.
       char* staged = send.staged.release();
       const int peer = cqe.peer_rank;
@@ -399,6 +427,10 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
         status_t status;
         if (action == backlog_action_t::cancel) {
           delete[] staged;
+          trace::end_op(ctx->span, trace::kind_t::op_rdv,
+                        trace::hist_t::post_rdv,
+                        static_cast<uint8_t>(errorcode_t::fatal_canceled),
+                        ctx->rank, ctx->tag, ctx->size);
           signal_comp(ctx->comp,
                       make_fatal_status(runtime_, errorcode_t::fatal_canceled,
                                         ctx->rank, ctx->tag, ctx->buffer,
@@ -416,6 +448,10 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
         if (status.error.is_retry()) return status;
         delete[] staged;
         if (!status.error.is_done()) {
+          trace::end_op(ctx->span, trace::kind_t::op_rdv,
+                        trace::hist_t::post_rdv,
+                        static_cast<uint8_t>(status.error.code), ctx->rank,
+                        ctx->tag, ctx->size);
           signal_comp(ctx->comp,
                       make_fatal_status(runtime_, status.error.code,
                                         ctx->rank, ctx->tag, ctx->buffer,
@@ -463,6 +499,10 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
       status.tag = ctx->tag;
       status.buffer = buffer_t{ctx->buffer, ctx->size};
       status.user_context = ctx->user_context;
+      // Only rendezvous writes carry a span (RMA ops have none); its end
+      // here is the send-side post -> completion measurement.
+      trace::end_op(ctx->span, trace::kind_t::op_rdv, trace::hist_t::post_rdv,
+                    0, ctx->rank, ctx->tag, ctx->size);
       signal_comp(ctx->comp, status);
       delete ctx;
       return true;
@@ -478,6 +518,8 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
         if (state.record)
           state.record->state.store(op_record_t::st_terminal,
                                     std::memory_order_release);
+        trace::instant(trace::kind_t::fin, state.span.id, state.peer_rank,
+                       state.tag, state.size);
         runtime_->net_context().deregister_memory(state.mr);
         status_t status;
         status.error.code = errorcode_t::done;
@@ -498,6 +540,12 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
         } else {
           status.buffer = buffer_t{state.buffer, state.size};
         }
+        trace::end_op(state.span, trace::kind_t::op_recv,
+                      trace::hist_t::post_recv,
+                      status.error.is_done()
+                          ? 0
+                          : static_cast<uint8_t>(status.error.code),
+                      state.peer_rank, state.tag, state.size);
         signal_comp(state.comp, status);
         return true;
       }
@@ -519,6 +567,8 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
 
 bool device_impl_t::progress() {
   runtime_->counters().add(counter_id_t::progress_calls);
+  const bool traced = trace::on() && trace::sampled();
+  const uint64_t poll_start = traced ? trace::now_ns() : 0;
   bool advanced = false;
   // Failure lifecycle: react to newly dead peers (purge their queued state)
   // and expire operation deadlines. Both are no-op cheap on the fast path —
@@ -546,6 +596,9 @@ bool device_impl_t::progress() {
   }
   // (7) Keep the receive queue full.
   advanced |= replenish_preposts();
+  if (traced)
+    trace::hist_record(trace::hist_t::progress_poll,
+                       trace::now_ns() - poll_start);
   return advanced;
 }
 

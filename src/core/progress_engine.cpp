@@ -7,6 +7,7 @@
 #include <exception>
 
 #include "core/runtime_impl.hpp"
+#include "core/trace.hpp"
 #include "util/backoff.hpp"
 
 namespace lci::detail {
@@ -157,6 +158,8 @@ void progress_engine_t::idle_sleep(worker_t* worker) {
     if (waiter.seq.load(std::memory_order_seq_cst) == observed) {
       runtime_->counters().add(counter_id_t::progress_sleeps);
       slept = true;
+      const trace::span_t sleep_span =
+          trace::begin(trace::kind_t::engine_sleep);
       // Bounded: a missed ring (doorbells are hints) costs at most
       // sleep_bound_ of latency, never liveness.
       waiter.cv.wait_for(lock, bound, [&]() {
@@ -164,6 +167,7 @@ void progress_engine_t::idle_sleep(worker_t* worker) {
                stopping_.load(std::memory_order_relaxed) ||
                pause_depth_.load(std::memory_order_relaxed) != 0;
       });
+      trace::end(sleep_span, trace::kind_t::engine_sleep);
     }
   }
   waiter.sleepers.fetch_sub(1, std::memory_order_seq_cst);

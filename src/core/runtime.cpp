@@ -31,6 +31,10 @@ runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
   coll_engine_ = std::make_unique<matching_engine_impl_t>(1024);
   register_engine(default_engine_.get());  // id 0
   register_engine(coll_engine_.get());     // id 1
+  // Tracing is process-global (wire messages cross runtimes in-process):
+  // retain before any device can emit. The first retain installs ring
+  // capacity and sampling; later retains keep the gate open.
+  if (attr_.trace) trace::retain(attr_.trace_ring_size, attr_.trace_sample);
   default_device_ = std::make_unique<device_impl_t>(this, attr_.prepost_depth,
                                                     attr_.auto_progress_default);
   LCI_LOG_(info,
@@ -55,6 +59,9 @@ runtime_impl_t::~runtime_impl_t() {
              c.am_delivered, c.retry_lock, c.retry_nopacket, c.retry_nomem,
              c.backlog_pushed);
   }
+  // Last release closes the recording gate; recorded data stays readable
+  // (trace_snapshot / trace_dump_json work after the runtimes are gone).
+  if (attr_.trace) trace::release();
 }
 
 rcomp_t runtime_impl_t::register_rcomp(comp_impl_t* comp) {

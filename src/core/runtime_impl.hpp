@@ -62,10 +62,14 @@ class backlog_queue_t {
   void bind_counters(counter_block_t* counters) { counters_ = counters; }
 
   void push(op_t op) {
+    // Park span: opened here, ended when the entry retires (or is aborted).
+    // trace_id 0 when tracing is off or the entry was sampled out.
+    entry_t entry{std::move(op),
+                  trace::begin(trace::kind_t::backlog)};
     std::size_t depth;
     {
       std::lock_guard<util::spinlock_t> guard(lock_);
-      queue_.push_back(std::move(op));
+      queue_.push_back(std::move(entry));
       depth = queue_.size();
       nonempty_.store(true, std::memory_order_release);
     }
@@ -79,24 +83,26 @@ class backlog_queue_t {
     if (!nonempty_.load(std::memory_order_acquire)) return false;
     bool advanced = false;
     while (true) {
-      op_t op;
+      entry_t entry;
       {
         std::lock_guard<util::spinlock_t> guard(lock_);
         if (queue_.empty()) {
           nonempty_.store(false, std::memory_order_release);
           return advanced;
         }
-        op = std::move(queue_.front());
+        entry = std::move(queue_.front());
         queue_.pop_front();
       }
-      const status_t status = op(backlog_action_t::run);
+      const status_t status = entry.op(backlog_action_t::run);
       if (status.error.is_retry()) {
         if (counters_ != nullptr)
           counters_->add(counter_id_t::backlog_retries);
         std::lock_guard<util::spinlock_t> guard(lock_);
-        queue_.push_front(std::move(op));
+        queue_.push_front(std::move(entry));
         return advanced;
       }
+      trace::end(entry.span, trace::kind_t::backlog,
+                 static_cast<uint8_t>(status.error.code));
       if (counters_ != nullptr) counters_->add(counter_id_t::backlog_retired);
       advanced = true;
     }
@@ -107,14 +113,16 @@ class backlog_queue_t {
   // of entries aborted. Only safe while no other thread can run progress()
   // on this queue (drain() calls it under progress-pause quiescence).
   std::size_t drain_abort() {
-    std::deque<op_t> taken;
+    std::deque<entry_t> taken;
     {
       std::lock_guard<util::spinlock_t> guard(lock_);
       taken.swap(queue_);
       nonempty_.store(false, std::memory_order_release);
     }
-    for (auto& op : taken) {
-      op(backlog_action_t::cancel);
+    for (auto& entry : taken) {
+      entry.op(backlog_action_t::cancel);
+      trace::end(entry.span, trace::kind_t::backlog,
+                 static_cast<uint8_t>(errorcode_t::fatal_canceled));
       if (counters_ != nullptr) counters_->add(counter_id_t::backlog_retired);
     }
     return taken.size();
@@ -126,8 +134,13 @@ class backlog_queue_t {
   }
 
  private:
+  struct entry_t {
+    op_t op;
+    trace::span_t span;  // backlog park -> retire
+  };
+
   mutable util::spinlock_t lock_;
-  std::deque<op_t> queue_;
+  std::deque<entry_t> queue_;
   std::atomic<bool> nonempty_{false};
   counter_block_t* counters_ = nullptr;
 };
@@ -148,6 +161,7 @@ struct rdv_send_t {
   std::unique_ptr<char[]> staged;
   // Set when the op carries a deadline or a user handle (see op_record_t).
   std::shared_ptr<op_record_t> record;
+  trace::span_t span;  // op span: rendezvous post -> completion
 };
 
 struct rdv_recv_t {
@@ -165,6 +179,9 @@ struct rdv_recv_t {
   // Carried over from the posted receive's record (if any) when the RTS
   // matches, so cancel/timeout can still find the op in its new home.
   std::shared_ptr<op_record_t> record;
+  // Carried over from the posted receive's entry (recv span) — or from a
+  // fresh span for runtime-owned buffers (large active messages).
+  trace::span_t span;
 };
 
 template <typename T>
@@ -224,6 +241,7 @@ struct recv_entry_t {
   std::vector<buffer_t> list;  // buffer-list receive (empty: single buffer)
   // Set when the op carries a deadline or a user handle (see op_record_t).
   std::shared_ptr<op_record_t> record;
+  trace::span_t span;  // op span: recv post -> completion
 };
 
 // ---------------------------------------------------------------------------
@@ -245,6 +263,12 @@ struct op_record_t {
   static constexpr uint8_t st_executing = 1;  // backlog op mid-submission
   static constexpr uint8_t st_terminal = 2;   // completion delivered/forfeit
   std::atomic<uint8_t> state{st_live};
+  // Errorcode of a fatal completion delivered through finish_tracked_op,
+  // published before the terminal CAS. Advisory: lets the flush-time resolve
+  // label the trace span of a sub-op whose completion the cancel/timeout path
+  // won (the span handle itself lives in the pending entry, which only the
+  // resolve can reach).
+  std::atomic<uint8_t> terminal_code{0};
 
   // Guards the location fields (kind/engine/key/entry/rdv_id) across the
   // recv -> rdv_recv conversion that happens when an RTS matches a tracked
@@ -291,6 +315,7 @@ struct agg_pending_t {
   tag_t tag = 0;
   void* user_context = nullptr;
   std::shared_ptr<op_record_t> record;  // set only for tracked sub-ops
+  trace::span_t span;  // op span: coalesced sub-op post -> flush resolution
 };
 
 struct agg_slot_t {
@@ -302,6 +327,7 @@ struct agg_slot_t {
   // the flush paths can peek for armed/aged slots without the lock.
   std::atomic<uint64_t> armed_ns{0};
   std::vector<agg_pending_t> pending;
+  trace::span_t span;  // batch_slot span: first append -> flush/abort (lock)
 };
 
 // Context attached to network operations so completions can be dispatched.
@@ -314,6 +340,9 @@ struct op_ctx_t {
   std::size_t size = 0;
   int rank = -1;
   tag_t tag = 0;
+  // Op span carried through the network operation: the rendezvous send span
+  // (handed over at RTR time) or the RMA op span; ended at the CQE.
+  trace::span_t span;
 };
 
 // ---------------------------------------------------------------------------
@@ -364,8 +393,8 @@ class device_impl_t {
   // done (copy made, nothing owed), posted (completion deferred to the
   // flush), retry, or a fatal status.
   status_t agg_append(const post_args_t& args, uint8_t kind,
-                      packet_pool_impl_t* pool,
-                      matching_engine_impl_t* engine);
+                      packet_pool_impl_t* pool, matching_engine_impl_t* engine,
+                      const trace::span_t& post_span);
   // Posts armed batches (rank < 0: every slot; older_than_ns != 0: only
   // slots armed at or before that stamp). Returns batches posted.
   std::size_t flush_aggregation(int rank = -1, uint64_t older_than_ns = 0);
@@ -394,8 +423,10 @@ class device_impl_t {
   errorcode_t post_batch_locked(agg_slot_t& slot, int rank,
                                 std::vector<agg_pending_t>& resolved);
   // Discards the slot's contents (caller holds slot.lock), detaching the
-  // pending entries into `out` for the caller to fail after unlock.
-  void detach_slot_locked(agg_slot_t& slot, std::vector<agg_pending_t>& out);
+  // pending entries into `out` for the caller to fail after unlock. `code`
+  // labels the end of the slot's batch_slot trace span (done = flushed).
+  void detach_slot_locked(agg_slot_t& slot, std::vector<agg_pending_t>& out,
+                          errorcode_t code);
 
   runtime_impl_t* const runtime_;
   const std::size_t prepost_depth_;

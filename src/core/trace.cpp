@@ -1,0 +1,212 @@
+// Tracing: snapshot, histogram merge, Chrome trace_event export.
+//
+// Recording is entirely header-inline (trace.hpp) so the net layer can emit
+// wire spans without linking the core library; this file holds everything
+// that runs off the hot path.
+#include "core/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lci::trace {
+
+namespace {
+
+util::spinlock_t g_lifecycle_lock;
+
+}  // namespace
+
+void retain(std::size_t ring_size, uint32_t sample) {
+  std::lock_guard<util::spinlock_t> guard(g_lifecycle_lock);
+  if (detail::g_refs.fetch_add(1, std::memory_order_seq_cst) == 0) {
+    // First traced runtime of a session: install the configuration and start
+    // a fresh generation so stale events from a previous session never leak
+    // into this session's snapshot. Later retains (other simulated ranks of
+    // the same job) share the first runtime's configuration.
+    const std::size_t capacity = std::max<std::size_t>(
+        8, std::bit_ceil(ring_size != 0 ? ring_size : std::size_t{1} << 14));
+    detail::g_ring_cap.store(capacity, std::memory_order_release);
+    detail::g_sample.store(sample != 0 ? sample : 1,
+                           std::memory_order_release);
+    detail::g_gen.fetch_add(1, std::memory_order_seq_cst);
+    detail::g_on.store(true, std::memory_order_release);
+  }
+}
+
+void release() {
+  std::lock_guard<util::spinlock_t> guard(g_lifecycle_lock);
+  if (detail::g_refs.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // Recording stops; the data stays readable (snapshots after the runtime
+    // is freed are the common pattern) until the next retain or reset.
+    detail::g_on.store(false, std::memory_order_release);
+  }
+}
+
+}  // namespace lci::trace
+
+namespace lci {
+
+trace_snapshot_t trace_snapshot() {
+  trace_snapshot_t out;
+  uint64_t dropped = 0;
+  trace::detail::registry().for_each_current(
+      [&](trace::detail::thread_state_t* state) {
+        const uint64_t head = state->head.load(std::memory_order_acquire);
+        const std::size_t capacity = state->mask + 1;
+        const uint64_t start = head > capacity ? head - capacity : 0;
+        dropped += start;  // overwritten (oldest) events, exact
+        for (uint64_t i = start; i < head; ++i) {
+          const trace::detail::slot_t& slot = state->slots[i & state->mask];
+          const uint64_t expect = i * 2 + 2;
+          if (slot.seq.load(std::memory_order_acquire) != expect) {
+            ++dropped;  // writer mid-publish or slot already lapped
+            continue;
+          }
+          const uint64_t w0 = slot.w[0].load(std::memory_order_relaxed);
+          const uint64_t w1 = slot.w[1].load(std::memory_order_relaxed);
+          const uint64_t w2 = slot.w[2].load(std::memory_order_relaxed);
+          const uint64_t w3 = slot.w[3].load(std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (slot.seq.load(std::memory_order_relaxed) != expect) {
+            ++dropped;
+            continue;
+          }
+          trace_event_t event;
+          event.ts_ns = w0;
+          event.id = w1;
+          event.kind = static_cast<trace::kind_t>(w2 & 0xff);
+          event.phase = static_cast<trace::phase_t>((w2 >> 8) & 0xff);
+          event.err = static_cast<uint8_t>((w2 >> 16) & 0xff);
+          event.rank = static_cast<int32_t>(static_cast<uint32_t>(w2 >> 32));
+          event.tag = static_cast<uint32_t>(w3 & 0xffffffffull);
+          event.size = static_cast<uint32_t>(w3 >> 32);
+          event.tid = state->tid;
+          out.events.push_back(event);
+        }
+      });
+  std::sort(out.events.begin(), out.events.end(),
+            [](const trace_event_t& a, const trace_event_t& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.id != b.id) return a.id < b.id;
+              return static_cast<uint8_t>(a.phase) <
+                     static_cast<uint8_t>(b.phase);
+            });
+  out.trace_dropped = dropped;
+  return out;
+}
+
+namespace {
+
+// Upper bound of log2 bucket i (record_hist: ns==0 -> bucket 0, otherwise
+// bucket bit_width(ns), i.e. bucket i spans [2^(i-1), 2^i)).
+uint64_t bucket_upper_ns(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  return uint64_t{1} << bucket;
+}
+
+uint64_t percentile_ns(const std::array<uint64_t, 64>& buckets, uint64_t count,
+                       double q) {
+  if (count == 0) return 0;
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  if (target > count) target = count;
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) return bucket_upper_ns(i);
+  }
+  return bucket_upper_ns(buckets.size() - 1);
+}
+
+latency_histogram_t merge_one(trace::hist_t hist) {
+  latency_histogram_t out;
+  const std::size_t base =
+      static_cast<std::size_t>(hist) * trace::detail::hist_buckets;
+  trace::detail::registry().for_each_current(
+      [&](trace::detail::thread_state_t* state) {
+        for (std::size_t i = 0; i < trace::detail::hist_buckets; ++i) {
+          out.buckets[i] +=
+              state->hist_cells[base + i].load(std::memory_order_relaxed);
+        }
+        const uint64_t peak =
+            state->hist_max[static_cast<std::size_t>(hist)].load(
+                std::memory_order_relaxed);
+        if (peak > out.max_ns) out.max_ns = peak;
+      });
+  for (uint64_t bucket : out.buckets) out.count += bucket;
+  out.p50_ns = percentile_ns(out.buckets, out.count, 0.50);
+  out.p99_ns = percentile_ns(out.buckets, out.count, 0.99);
+  // The top bucket's upper bound can overshoot the true maximum; clamp the
+  // percentile estimates to the exact observed max.
+  if (out.count != 0) {
+    out.p50_ns = std::min(out.p50_ns, out.max_ns);
+    out.p99_ns = std::min(out.p99_ns, out.max_ns);
+  }
+  return out;
+}
+
+}  // namespace
+
+histograms_t get_histograms() {
+  histograms_t out;
+  out.post_eager = merge_one(trace::hist_t::post_eager);
+  out.post_batch = merge_one(trace::hist_t::post_batch);
+  out.post_rdv = merge_one(trace::hist_t::post_rdv);
+  out.post_recv = merge_one(trace::hist_t::post_recv);
+  out.progress_poll = merge_one(trace::hist_t::progress_poll);
+  return out;
+}
+
+bool trace_dump_json(const std::string& path) {
+  const trace_snapshot_t snapshot = trace_snapshot();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  // Chrome trace_event format. Spans use async begin/end ("b"/"e") keyed by
+  // op id: the two halves of post->complete often run on different threads
+  // (worker posts, progress engine completes), and async pairing is the
+  // format's cross-thread mechanism. Events sharing an id (post call,
+  // backlog residency, wire hop) nest under that op's track by name.
+  std::fprintf(file, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  const uint64_t origin =
+      snapshot.events.empty() ? 0 : snapshot.events.front().ts_ns;
+  bool first = true;
+  for (const trace_event_t& event : snapshot.events) {
+    const double ts_us =
+        static_cast<double>(event.ts_ns - origin) / 1000.0;
+    if (!first) std::fprintf(file, ",\n");
+    first = false;
+    const char* name = trace::to_string(event.kind);
+    if (event.phase == trace::phase_t::instant) {
+      std::fprintf(file,
+                   "{\"ph\":\"i\",\"cat\":\"lci\",\"name\":\"%s\",\"pid\":1,"
+                   "\"tid\":%u,\"ts\":%.3f,\"s\":\"t\",\"args\":{\"id\":%llu,"
+                   "\"rank\":%d,\"tag\":%u,\"size\":%u}}",
+                   name, event.tid, ts_us,
+                   static_cast<unsigned long long>(event.id), event.rank,
+                   event.tag, event.size);
+    } else {
+      const char* phase =
+          event.phase == trace::phase_t::begin ? "b" : "e";
+      std::fprintf(file,
+                   "{\"ph\":\"%s\",\"cat\":\"lci\",\"name\":\"%s\",\"id\":"
+                   "\"0x%llx\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"args\":{"
+                   "\"rank\":%d,\"tag\":%u,\"size\":%u,\"err\":%u}}",
+                   phase, name, static_cast<unsigned long long>(event.id),
+                   event.tid, ts_us, event.rank, event.tag, event.size,
+                   event.err);
+    }
+  }
+  std::fprintf(file, "\n]}\n");
+  const bool ok = std::fclose(file) == 0;
+  return ok;
+}
+
+void trace_reset() {
+  // Generation bump: every thread's current ring and histogram cells become
+  // invisible to snapshots and are lazily replaced; the memory is retired,
+  // not freed, so a writer racing the reset stays safe.
+  trace::detail::g_gen.fetch_add(1, std::memory_order_seq_cst);
+}
+
+}  // namespace lci

@@ -4,9 +4,25 @@
 #include <cstring>
 #include <mutex>
 
+// Recording-side tracing only (header-inline; lci_net does not link the core
+// library). Wire spans cover push -> delivery; err codes are the wire's own:
+// 0 = delivered, wire_err_rejected = backpressure bounce, wire_err_dropped =
+// evaporated (dead sender/target or injected loss).
+#include "core/trace.hpp"
 #include "net/sim_fabric.hpp"
 
 namespace lci::net::detail {
+
+constexpr uint8_t wire_err_rejected = 1;
+constexpr uint8_t wire_err_dropped = 2;
+
+namespace {
+inline void end_wire_span(uint64_t trace_id, uint8_t err, int rank = -1,
+                          uint64_t size = 0) {
+  lci::trace::end(lci::trace::span_t{trace_id, 0}, lci::trace::kind_t::wire,
+                  err, rank, 0, size);
+}
+}  // namespace
 
 sim_device_t::sim_device_t(sim_fabric_t* fabric, int rank, int context)
     : fabric_(fabric), rank_(rank), context_(context) {
@@ -124,7 +140,15 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
   msg.imm = imm;
   msg.ready_ns = fabric_->ready_time_ns(size);
   msg.set_payload(buffer, size);
-  if (!target->wire_push(std::move(msg))) return post_result_t::retry_full;
+  // Wire span: opened here so its id travels with the message; a rejected
+  // push ends it immediately (the retried post opens a fresh one).
+  const trace::span_t wire_span =
+      trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+  msg.trace_id = wire_span.id;
+  if (!target->wire_push(std::move(msg))) {
+    trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
+    return post_result_t::retry_full;
+  }
 
   // Local completion: the source buffer was copied onto the wire, so it is
   // immediately reusable (RDMA send semantics).
@@ -169,7 +193,13 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
     msg.imm = imm;
     msg.size = static_cast<uint32_t>(size);
     msg.ready_ns = fabric_->ready_time_ns(size);
-    if (!target->wire_push(std::move(msg))) return post_result_t::retry_full;
+    const trace::span_t wire_span =
+        trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+    msg.trace_id = wire_span.id;
+    if (!target->wire_push(std::move(msg))) {
+      trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
+      return post_result_t::retry_full;
+    }
   }
   cq_.push(cqe_t{op_t::write, peer_rank, imm, size, nullptr, user_context});
   // The write CQE carries a completion the owner must dispatch; a sleeping
@@ -218,7 +248,13 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
     msg.imm = imm;
     msg.size = static_cast<uint32_t>(size);
     msg.ready_ns = fabric_->ready_time_ns(size);
-    if (!target->wire_push(std::move(msg))) return post_result_t::retry_full;
+    const trace::span_t wire_span =
+        trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+    msg.trace_id = wire_span.id;
+    if (!target->wire_push(std::move(msg))) {
+      trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
+      return post_result_t::retry_full;
+    }
   }
   cq_.push(cqe_t{op_t::read, peer_rank, imm, size, nullptr, user_context});
   ring_doorbell();
@@ -233,6 +269,7 @@ bool sim_device_t::wire_push(wire_msg_t msg) {
   // message was accepted, it just never arrives.
   if (fabric_->is_dead(rank_)) {
     wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    end_wire_span(msg.trace_id, wire_err_dropped, rank_, msg.size);
     return true;
   }
   if (wire_.size_approx() >= effective_wire_depth()) return false;
@@ -246,6 +283,7 @@ bool sim_device_t::wire_push(wire_msg_t msg) {
     }
     if (lost) {
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      end_wire_span(msg.trace_id, wire_err_dropped, rank_, msg.size);
       return true;
     }
   }
@@ -305,6 +343,7 @@ bool sim_device_t::deliver_one(wire_msg_t& msg, uint64_t& now_cache) {
     cq_.push(
         cqe_t{msg.kind, msg.src_rank, msg.imm, msg.size, nullptr, nullptr});
   }
+  end_wire_span(msg.trace_id, 0, msg.src_rank, msg.size);
   return true;
 }
 
@@ -317,6 +356,8 @@ void sim_device_t::deliver_from_wire() {
     if (fabric_->is_dead(rnr_stash_.front().src_rank)) {
       // The sender died while this message waited: it evaporates.
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      end_wire_span(rnr_stash_.front().trace_id, wire_err_dropped,
+                    rnr_stash_.front().src_rank, rnr_stash_.front().size);
       rnr_stash_.pop_front();
       continue;
     }
@@ -329,6 +370,7 @@ void sim_device_t::deliver_from_wire() {
     if (!msg) break;
     if (fabric_->is_dead(msg->src_rank)) {
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      end_wire_span(msg->trace_id, wire_err_dropped, msg->src_rank, msg->size);
       continue;
     }
     if (!deliver_one(*msg, now_cache)) {
@@ -345,8 +387,13 @@ poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
   if (!guard) return poll_result_t{0, true};
   if (fabric_->is_dead(rank_)) {
     // A dead rank observes nothing: everything queued at it evaporates.
-    while (auto msg = wire_.try_pop())
+    while (auto msg = wire_.try_pop()) {
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      end_wire_span(msg->trace_id, wire_err_dropped, msg->src_rank, msg->size);
+    }
+    for (const wire_msg_t& stalled : rnr_stash_)
+      end_wire_span(stalled.trace_id, wire_err_dropped, stalled.src_rank,
+                    stalled.size);
     rnr_stash_.clear();
     while (cq_.try_pop()) {
     }

@@ -28,6 +28,7 @@ struct wire_msg_t {
   uint32_t size = 0;
   uint64_t ready_ns = 0;    // timing model: deliverable once now >= ready_ns
   uint32_t defer_polls = 0; // fault injection: delivery attempts to skip
+  uint64_t trace_id = 0;    // wire span id (0 = untraced); see core/trace.hpp
   std::unique_ptr<char[]> heap;
   char inline_data[inline_capacity] = {};
 

@@ -23,11 +23,16 @@ void fill_payload(std::vector<char>& buf, uint64_t key) {
   for (auto& b : buf) b = static_cast<char>(rng());
 }
 
-// (seed, aggregation): every schedule replays with eager coalescing off and
-// on. Aggregation must be invisible to the oracle — per-key FIFO holds
-// because the matching-order flush keeps coalesced and bypass traffic to a
-// peer in posted order on the wire.
-class Fuzz : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+// (seed, aggregation, trace): every schedule replays with eager coalescing
+// off and on, and with operation tracing off and on. Aggregation must be
+// invisible to the oracle — per-key FIFO holds because the matching-order
+// flush keeps coalesced and bypass traffic to a peer in posted order on the
+// wire. Tracing must be invisible full stop: it observes the same races the
+// fuzz provokes (cancellations racing flushes, seeded retries), so the
+// traced replays double as a span-lifecycle stress test, and a small ring
+// keeps wraparound in play.
+class Fuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, bool>> {};
 
 // Mixed tagged traffic: each rank issues a random schedule of sends and
 // receives; tags are drawn from a small space so multiple messages queue on
@@ -38,7 +43,7 @@ class Fuzz : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 // alternates coalesced messages with ordering-flush bypass traffic; the
 // fabric injects seeded retries and delivery delays on top.
 TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
-  const auto [seed, aggregation] = GetParam();
+  const auto [seed, aggregation, trace] = GetParam();
   lci::net::config_t fabric;
   fabric.fault.retry_rate = 0.05;
   fabric.fault.delay_rate = 0.05;
@@ -47,6 +52,8 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
     attr.allow_aggregation = aggregation;
+    attr.trace = trace;
+    attr.trace_ring_size = 512;  // small: wraparound under load
     lci::g_runtime_init(attr);
     const int peer = 1 - rank;
     lci::util::xoshiro256_t rng(seed ^ (0x1234u * (rank + 1)));
@@ -191,11 +198,13 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
 // shadow copy maintained locally; a final bulk get must observe exactly the
 // shadow state.
 TEST_P(Fuzz, RmaPutsMatchShadow) {
-  const auto [seed, aggregation] = GetParam();
+  const auto [seed, aggregation, trace] = GetParam();
   lci::sim::spawn(2, [&](int rank) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
     attr.allow_aggregation = aggregation;
+    attr.trace = trace;
+    attr.trace_ring_size = 512;
     lci::g_runtime_init(attr);
     const int peer = 1 - rank;
     constexpr std::size_t window_size = 8192;
@@ -249,14 +258,18 @@ TEST_P(Fuzz, RmaPutsMatchShadow) {
   });
 }
 
+// Naming: the "_agg" suffix is load-bearing — CI's failure-injection job
+// selects the aggregation variants with --gtest_filter='*_agg*', and the
+// trace suffix appends after it so the filter still matches.
 INSTANTIATE_TEST_SUITE_P(
     Seeds, Fuzz,
     ::testing::Combine(::testing::Values(1ull, 0xdeadbeefull, 42ull,
                                          0xabcdef0123ull),
-                       ::testing::Bool()),
+                       ::testing::Bool(), ::testing::Bool()),
     [](const auto& info) {
       return "seed" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_agg" : "");
+             (std::get<1>(info.param) ? "_agg" : "") +
+             (std::get<2>(info.param) ? "_trace" : "");
     });
 
 }  // namespace
