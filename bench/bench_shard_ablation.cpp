@@ -1,0 +1,61 @@
+// Shard-count ablation for the VCI-style device sharding (paper Sec. 4.2).
+//
+// Shared-resource message-rate runs (the fig3 harness: 8 B AMs, windowed
+// streaming) with one device per rank and device_shards swept over
+// {1, 2, 4, 8}. Workers pin to shard (t mod shards), so shards=1 is the
+// pre-sharding single-endpoint layout and shards>=threads gives every
+// thread a private endpoint inside the shared device — the ablation
+// isolates how much of the dedicated-mode rate the sharding recovers
+// without allocating a device per thread.
+//
+// Expected shape: the 8-thread rate climbs with the shard count (endpoint
+// and aggregation-slot contention falls away) and saturates once
+// shards >= threads; 1-thread rates stay flat (a lone thread on shard 0
+// never contends, and the extra shards only cost idle CQ polls).
+#include <cstdio>
+#include <vector>
+
+#include "pingpong.hpp"
+
+int main() {
+  const long iterations = bench::iters(2000);
+  std::printf(
+      "# Shard-count ablation: shared-mode thread message rate (8B AMs)\n"
+      "# one device per rank, device_shards swept; iterations/thread = %ld\n",
+      iterations);
+
+  bench::json_report_t report("shard_ablation");
+  for (const bool aggregation : {false, true}) {
+    bench::print_header(aggregation ? "lci+agg, shared device"
+                                    : "lci, shared device",
+                        "threads  shards  Mmsg/s  (aggregate uni-dir)");
+    for (int threads : bench::pow2_up_to(bench::max_threads())) {
+      for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+        bench::pingpong_params_t params;
+        params.backend = lcw::backend_t::lci;
+        params.nranks = 2;
+        params.nthreads = threads;
+        params.dedicated = false;
+        params.use_am = true;
+        params.msg_size = 8;
+        params.iterations = iterations;
+        params.aggregation = aggregation;
+        params.agg_flush_us = 20;
+        params.window = 64;
+        params.device_shards = shards;
+        const auto result = bench::run_pingpong(params);
+        std::printf("%7d  %6zu  %9.4f\n", threads, shards,
+                    result.mmsg_per_sec);
+        report.row()
+            .field("mode", std::string("shared"))
+            .field("threads", threads)
+            .field("device_shards", static_cast<long>(shards))
+            .field("backend", std::string("lci"))
+            .field("aggregation", aggregation ? 1 : 0)
+            .field("msg_size", static_cast<long>(params.msg_size))
+            .field("mmsg_per_sec", result.mmsg_per_sec);
+      }
+    }
+  }
+  return 0;
+}

@@ -40,6 +40,11 @@ struct pingpong_params_t {
   bool workers_progress = true;
   bool aggregation = false;  // lci backend: coalesce small eager sends/AMs
   uint64_t agg_flush_us = 0; // batch hold time; 0 flushes every progress poll
+  // lci backend: shards per device (0 = runtime default). With > 1 shard
+  // each worker pins itself to shard (t mod shards), giving every thread a
+  // private network endpoint inside the shared device — the paper's VCI
+  // recipe without allocating a device per thread.
+  std::size_t device_shards = 0;
   // Send-window depth per thread (rank-wide credits = T * window). 1 is a
   // strict ping-pong (latency-bound); message-rate sweeps use a deeper
   // window so the rate decouples from the round-trip and batching/pipelining
@@ -82,6 +87,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
         config.nprogress_threads = p.nprogress_threads;
         config.enable_aggregation = p.aggregation;
         config.aggregation_flush_us = p.agg_flush_us;
+        config.device_shards = p.device_shards;
         auto ctx = lcw::alloc_context(p.backend, config);
         const int peer = (rank + R / 2) % R;
         auto binding = lci::sim::current_binding();
@@ -110,6 +116,12 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
 
         auto worker = [&](int t) {
           lci::sim::scoped_binding_t bound(binding);
+          // Affinity routing: park this worker on its own shard so its
+          // traffic never shares an endpoint (or aggregation slot) with a
+          // sibling. The pin is thread-local — worker 0 runs on the rank's
+          // spawning thread, so it must be cleared before returning.
+          if (p.device_shards > 1)
+            lci::pin_thread_shard(t % static_cast<int>(p.device_shards));
           lcw::device_t* dev = ctx->device(p.dedicated ? t : 0);
           const int tag = p.dedicated ? t : 0;
           const int gid = rank * T + t;
@@ -227,6 +239,7 @@ inline pingpong_result_t run_pingpong(const pingpong_params_t& params_in) {
             if (!did_something) std::this_thread::yield();
           }
           end_times[static_cast<std::size_t>(gid)] = now_sec();
+          if (p.device_shards > 1) lci::pin_thread_shard(-1);
         };
 
         std::vector<std::thread> threads;

@@ -129,6 +129,79 @@ def check_agg_invariant(results, agg_factor):
             f"< {agg_factor:.1f}x ({best_desc})"), None
 
 
+def check_cliff_invariant(results, noise=0.20):
+    """fig3 shape invariant from the device-sharding work: the non-aggregated
+    lci message rate must not fall off a cliff between 4 and 8 threads. With
+    affinity-routed shards the curve is monotone; an 8-thread rate below the
+    4-thread rate (beyond the noise margin) means the shard routing or the
+    per-shard CQ round-robin broke and threads are serializing again.
+    The margin is dimensioned against observed smoke noise: short runs on an
+    oversubscribed host swing individual cells ~20%, while the pre-sharding
+    cliff this guards against was a 29% drop (1.09 -> 0.77 Mmsg/s)."""
+    rows = results.get("rows", [])
+    by_config = {}
+    for row in rows:
+        if row.get("backend") != "lci" or row.get("aggregation", 0) != 0:
+            continue
+        key = (row.get("mode"), row.get("lock_model"))
+        by_config.setdefault(key, {})[row.get("threads", 0)] = \
+            row.get("mmsg_per_sec", 0.0)
+    failures = []
+    checked = 0
+    for (mode, model), by_threads in sorted(by_config.items()):
+        if 4 not in by_threads or 8 not in by_threads:
+            continue
+        checked += 1
+        if by_threads[8] < by_threads[4] * (1.0 - noise):
+            failures.append(
+                f"fig3 thread-scaling cliff: {mode}/{model} non-aggregated "
+                f"lci rate drops {by_threads[4]:.3f} -> {by_threads[8]:.3f} "
+                f"Mmsg/s from 4 to 8 threads (> {noise:.0%} noise margin)")
+    if failures:
+        return failures, None
+    return [], (f"thread-scaling invariant holds: 8T >= 4T non-aggregated "
+                f"in {checked} config(s)")
+
+
+def check_single_thread_agg_invariant(results, tolerance=0.15):
+    """fig3 shape invariant from the single-poster bypass: with one posting
+    thread, enabling aggregation must cost nothing (the bypass sends the
+    traffic straight through). The check is the *median* lci+agg/lci ratio
+    across all mode/lock-model configs at 1 thread, not a per-config gate:
+    on an oversubscribed CI host any single 1-thread cell can swing 2x
+    either way run to run, but a broken bypass depresses every config at
+    once, which the median sees through the noise. The tolerance is
+    noise-dimensioned too (observed clean-run medians sit at 0.94-1.34):
+    the pre-bypass penalty this guards against pushed the median to ~0.75,
+    well past the 0.85 trip point."""
+    rows = results.get("rows", [])
+    by_config = {}
+    for row in rows:
+        if row.get("backend") != "lci" or row.get("threads", 0) != 1:
+            continue
+        key = (row.get("mode"), row.get("lock_model"))
+        by_config.setdefault(key, {})[row.get("aggregation", 0)] = \
+            row.get("mmsg_per_sec", 0.0)
+    ratios = []
+    for (mode, model), pair in sorted(by_config.items()):
+        if 0 not in pair or 1 not in pair or pair[0] <= 0:
+            continue
+        ratios.append(pair[1] / pair[0])
+    if not ratios:
+        return [], "single-thread aggregation invariant: no row pairs found"
+    ratios.sort()
+    n = len(ratios)
+    median = (ratios[n // 2] if n % 2 else
+              (ratios[n // 2 - 1] + ratios[n // 2]) / 2.0)
+    if median < 1.0 - tolerance:
+        return [(f"fig3 single-thread aggregation penalty: median "
+                 f"lci+agg/lci ratio {median:.2f} < {1.0 - tolerance:.2f} "
+                 f"across {n} config(s) at 1 thread (bypass not engaging)")], \
+               None
+    return [], (f"single-thread aggregation invariant holds: median "
+                f"lci+agg/lci ratio {median:.2f} across {n} config(s)")
+
+
 def merge_results(name, paths):
     """Best-per-row merge across repeated runs of the same bench."""
     metric, higher_better = METRICS[name]
@@ -188,6 +261,16 @@ def run_check(baseline_dir, results_dirs, warn_threshold, fail_threshold,
                 failures.append(fail)
             else:
                 print(f"  {note}")
+            cliff_fails, cliff_note = check_cliff_invariant(results)
+            if cliff_fails:
+                failures.extend(cliff_fails)
+            else:
+                print(f"  {cliff_note}")
+            agg1_fails, agg1_note = check_single_thread_agg_invariant(results)
+            if agg1_fails:
+                failures.extend(agg1_fails)
+            else:
+                print(f"  {agg1_note}")
 
     for msg in warnings:
         print(f"WARN: {msg}")
@@ -200,7 +283,9 @@ def run_check(baseline_dir, results_dirs, warn_threshold, fail_threshold,
 
 def self_test():
     """Exercises the gate logic on synthetic reports: a clean pass, a 50%
-    regression (must fail), and a broken aggregation invariant (must fail)."""
+    regression (must fail), a broken aggregation invariant (must fail), a
+    4->8 thread cliff (must fail), and a 1-thread aggregation penalty
+    (must fail)."""
     import tempfile
 
     def write(dirname, name, rows, smoke=1):
@@ -211,7 +296,7 @@ def self_test():
     fig3_rows = [
         {"mode": "shared", "lock_model": "ibv", "threads": t,
          "backend": b, "aggregation": a, "msg_size": 8, "mmsg_per_sec": r}
-        for t in (4, 8)
+        for t in (1, 4, 8)
         for b, a, r in (("lci", 0, 1.0), ("lci", 1, 2.5), ("mpi", 0, 0.4))
     ]
     fig2_rows = [{"procs_per_node": p, "backend": "lci", "aggregation": 0,
@@ -221,7 +306,9 @@ def self_test():
     with tempfile.TemporaryDirectory() as base, \
          tempfile.TemporaryDirectory() as good, \
          tempfile.TemporaryDirectory() as bad, \
-         tempfile.TemporaryDirectory() as noagg:
+         tempfile.TemporaryDirectory() as noagg, \
+         tempfile.TemporaryDirectory() as cliff, \
+         tempfile.TemporaryDirectory() as agg1:
         for d in (base, good):
             write(d, "fig2_msgrate_process", fig2_rows)
             write(d, "fig3_msgrate_thread", fig3_rows)
@@ -242,6 +329,28 @@ def self_test():
                for r in fig3_rows])
         write(noagg, "latency", lat_rows)
 
+        # 4->8 thread cliff: the 8-thread non-aggregated rate drops to 0.55
+        # while 4 threads stays at 1.0. The cliff/penalty self-tests pass a
+        # loosened per-row fail threshold (0.60) so the failure can only come
+        # from the shape invariant, not the row-level regression gate.
+        write(cliff, "fig2_msgrate_process", fig2_rows)
+        write(cliff, "fig3_msgrate_thread",
+              [dict(r, mmsg_per_sec=0.55)
+               if r["backend"] == "lci" and r["aggregation"] == 0
+               and r["threads"] == 8 else r
+               for r in fig3_rows])
+        write(cliff, "latency", lat_rows)
+
+        # 1-thread aggregation penalty: agg-on drops to 0.7x plain in the
+        # (only) config, so the median ratio across configs is 0.7 < 0.85.
+        write(agg1, "fig2_msgrate_process", fig2_rows)
+        write(agg1, "fig3_msgrate_thread",
+              [dict(r, mmsg_per_sec=0.7)
+               if r["backend"] == "lci" and r["aggregation"] == 1
+               and r["threads"] == 1 else r
+               for r in fig3_rows])
+        write(agg1, "latency", lat_rows)
+
         print("== self-test: identical results must pass")
         assert run_check(base, [good], 0.10, 0.35, 2.0) == 0
 
@@ -250,6 +359,14 @@ def self_test():
 
         print("== self-test: broken aggregation invariant must fail")
         assert run_check(base, [noagg], 0.10, 0.35, 2.0) == 1
+
+        print("== self-test: 4->8 thread cliff must fail")
+        assert run_check(base, [cliff], 0.10, 0.60, 2.0) == 1
+
+        print("== self-test: 1-thread aggregation penalty must fail")
+        # 2.5 -> 0.7 is a 72% row regression; 0.80 keeps the row gate quiet
+        # so the exit code can only come from the median-ratio invariant.
+        assert run_check(base, [agg1], 0.10, 0.80, 2.0) == 1
 
         print("== self-test: one good run among the merged set must pass")
         assert run_check(base, [bad, good], 0.10, 0.35, 2.0) == 0

@@ -120,14 +120,15 @@ void device_impl_t::detach_slot_locked(agg_slot_t& slot,
 }
 
 errorcode_t device_impl_t::post_batch_locked(
-    agg_slot_t& slot, int rank, std::vector<agg_pending_t>& resolved) {
+    agg_slot_t& slot, net::device_t& net, int rank,
+    std::vector<agg_pending_t>& resolved) {
   if (slot.packet == nullptr) return errorcode_t::done;
   msg_header_t header;
   header.kind = msg_header_t::eager_batch;
   std::memcpy(slot.packet->payload(), &header, sizeof(header));
   const std::size_t wire_size = sizeof(msg_header_t) + slot.bytes;
-  const auto result = net_device_->post_send(rank, slot.packet->payload(),
-                                             wire_size, 0, nullptr);
+  const auto result =
+      net.post_send(rank, slot.packet->payload(), wire_size, 0, nullptr);
   const error_t err = map_net_result(result);
   if (err.is_retry()) return err.code;  // slot stays armed
   // ok or peer_down: the slot empties either way (the simulated wire copies
@@ -148,10 +149,16 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
   errorcode_t resolved_code = errorcode_t::done;
   std::shared_ptr<op_record_t> record;
   status_t status = agg_status(errorcode_t::posted);
-  agg_slot_t& slot = agg_slot(rank);
+  // The sub-message coalesces into the slot of the shard its key routes to,
+  // and the batch posts on that shard's endpoint — the same endpoint any
+  // bypass traffic on this key would use, so the matching-order flush keeps
+  // per-key FIFO intact shard by shard.
+  const std::size_t shard = route_shard(rank, args.tag);
+  net::device_t& wire = net(shard);
+  agg_slot_t& slot = agg_slot(shard, rank);
   {
     std::lock_guard<util::spinlock_t> guard(slot.lock);
-    if (net_device_->is_peer_down(rank)) {
+    if (wire.is_peer_down(rank)) {
       detach_slot_locked(slot, resolved, errorcode_t::fatal_peer_down);
       resolved_code = errorcode_t::fatal_peer_down;
       status = make_fatal_status(runtime_, errorcode_t::fatal_peer_down, rank,
@@ -162,7 +169,7 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
       if (slot.packet != nullptr &&
           (slot.bytes + entry_bytes > agg_max_bytes_ ||
            slot.msgs >= agg_max_msgs_)) {
-        const errorcode_t code = post_batch_locked(slot, rank, resolved);
+        const errorcode_t code = post_batch_locked(slot, wire, rank, resolved);
         if (error_t{code}.is_retry()) {
           // The batch ahead of us cannot go out: bounce this post too, or
           // it would be appended behind back-pressure that may persist.
@@ -253,7 +260,8 @@ status_t device_impl_t::agg_append(const post_args_t& args, uint8_t kind,
           // Post immediately when this append filled the batch.
           if (slot.bytes + sizeof(batch_sub_header_t) > agg_max_bytes_ ||
               slot.msgs >= agg_max_msgs_) {
-            const errorcode_t code = post_batch_locked(slot, rank, resolved);
+            const errorcode_t code =
+                post_batch_locked(slot, wire, rank, resolved);
             // A retry here leaves the slot armed for a later flush; it does
             // not fail the append (the copy was taken). peer_down resolves
             // the detached entries below — including, possibly, this one.
@@ -289,42 +297,54 @@ std::size_t device_impl_t::flush_aggregation(int rank, uint64_t older_than_ns) {
   const int end = rank >= 0 ? rank + 1 : nranks;
   std::size_t posted = 0;
   std::vector<agg_pending_t> resolved;
-  for (int peer = begin; peer < end; ++peer) {
-    agg_slot_t& slot = agg_slot(peer);
-    const uint64_t armed = slot.armed_ns.load(std::memory_order_acquire);
-    if (armed == 0) continue;
-    if (older_than_ns != 0 && armed > older_than_ns) continue;
+  for (std::size_t shard = 0; shard < nshards(); ++shard) {
+    for (int peer = begin; peer < end; ++peer) {
+      agg_slot_t& slot = agg_slot(shard, peer);
+      const uint64_t armed = slot.armed_ns.load(std::memory_order_acquire);
+      if (armed == 0) continue;
+      if (older_than_ns != 0 && armed > older_than_ns) continue;
+      errorcode_t code;
+      bool had;
+      {
+        std::lock_guard<util::spinlock_t> guard(slot.lock);
+        had = slot.packet != nullptr;
+        code = post_batch_locked(slot, net(shard), peer, resolved);
+      }
+      if (had && code == errorcode_t::done) ++posted;
+      if (!resolved.empty())
+        resolve_agg_pending(runtime_, peer, resolved, code);
+    }
+  }
+  return posted;
+}
+
+errorcode_t device_impl_t::flush_peer_for_ordering(int rank, int shard) {
+  const std::size_t begin = shard >= 0 ? static_cast<std::size_t>(shard) : 0;
+  const std::size_t end =
+      shard >= 0 ? static_cast<std::size_t>(shard) + 1 : nshards();
+  errorcode_t worst = errorcode_t::done;
+  for (std::size_t s = begin; s < end; ++s) {
+    agg_slot_t& slot = agg_slot(s, rank);
+    if (slot.armed_ns.load(std::memory_order_acquire) == 0) continue;
+    std::vector<agg_pending_t> resolved;
     errorcode_t code;
     bool had;
     {
       std::lock_guard<util::spinlock_t> guard(slot.lock);
       had = slot.packet != nullptr;
-      code = post_batch_locked(slot, peer, resolved);
+      code = post_batch_locked(slot, net(s), rank, resolved);
     }
-    if (had && code == errorcode_t::done) ++posted;
-    if (!resolved.empty())
-      resolve_agg_pending(runtime_, peer, resolved, code);
+    if (!had) continue;
+    if (code == errorcode_t::done)
+      runtime_->counters().add(counter_id_t::batch_flush_ordering);
+    if (!resolved.empty()) resolve_agg_pending(runtime_, rank, resolved, code);
+    // A retry anywhere must bounce the caller's message (it would overtake
+    // the stuck batch); a dead peer dominates everything else.
+    if (error_t{code}.is_retry() && worst != errorcode_t::fatal_peer_down)
+      worst = code;
+    if (code == errorcode_t::fatal_peer_down) worst = code;
   }
-  return posted;
-}
-
-errorcode_t device_impl_t::flush_peer_for_ordering(int rank) {
-  agg_slot_t& slot = agg_slot(rank);
-  if (slot.armed_ns.load(std::memory_order_acquire) == 0)
-    return errorcode_t::done;
-  std::vector<agg_pending_t> resolved;
-  errorcode_t code;
-  bool had;
-  {
-    std::lock_guard<util::spinlock_t> guard(slot.lock);
-    had = slot.packet != nullptr;
-    code = post_batch_locked(slot, rank, resolved);
-  }
-  if (!had) return errorcode_t::done;
-  if (code == errorcode_t::done)
-    runtime_->counters().add(counter_id_t::batch_flush_ordering);
-  if (!resolved.empty()) resolve_agg_pending(runtime_, rank, resolved, code);
-  return code;
+  return worst;
 }
 
 std::size_t device_impl_t::abort_aggregation(int rank, errorcode_t code) {
@@ -334,14 +354,16 @@ std::size_t device_impl_t::abort_aggregation(int rank, errorcode_t code) {
   const int end = rank >= 0 ? rank + 1 : nranks;
   std::size_t completed = 0;
   std::vector<agg_pending_t> detached;
-  for (int peer = begin; peer < end; ++peer) {
-    agg_slot_t& slot = agg_slot(peer);
-    if (slot.armed_ns.load(std::memory_order_acquire) == 0) continue;
-    {
-      std::lock_guard<util::spinlock_t> guard(slot.lock);
-      detach_slot_locked(slot, detached, code);
+  for (std::size_t shard = 0; shard < nshards(); ++shard) {
+    for (int peer = begin; peer < end; ++peer) {
+      agg_slot_t& slot = agg_slot(shard, peer);
+      if (slot.armed_ns.load(std::memory_order_acquire) == 0) continue;
+      {
+        std::lock_guard<util::spinlock_t> guard(slot.lock);
+        detach_slot_locked(slot, detached, code);
+      }
+      completed += resolve_agg_pending(runtime_, peer, detached, code);
     }
-    completed += resolve_agg_pending(runtime_, peer, detached, code);
   }
   return completed;
 }
@@ -471,7 +493,19 @@ std::size_t flush(device_t device, int rank, runtime_t runtime) {
   detail::device_impl_t* dev =
       device.is_valid() ? device.p : &rt->default_device();
   if (rank >= rt->nranks()) throw fatal_error_t("flush: rank out of range");
-  return dev->flush_aggregation(rank);
+  // Retry internally until every targeted batch is on the wire or has failed
+  // fatally: a transient retry (send-lock miss, full wire mailbox) leaves a
+  // slot armed, and returning then would silently make "flushed" mean "maybe
+  // flushed — call me again". progress() between attempts drains local
+  // completions so a full CQ or dry pool can clear; a dead peer aborts its
+  // slots inside the flush (fatal_peer_down), so the loop always terminates
+  // once the fabric either accepts the message or declares the peer dead.
+  std::size_t posted = dev->flush_aggregation(rank);
+  while (dev->has_armed_aggregation(rank)) {
+    dev->progress();
+    posted += dev->flush_aggregation(rank);
+  }
+  return posted;
 }
 
 }  // namespace lci

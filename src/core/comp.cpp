@@ -149,11 +149,12 @@ device_attr_t get_attr(device_t device) {
                           : &detail::resolve_runtime({})->default_device();
   attr.prepost_depth = dev->prepost_depth();
   attr.net_index = dev->net().index();
+  attr.device_shards = dev->nshards();
   attr.backlog_size = dev->backlog().size_approx();
-  attr.injected_faults = dev->net().injected_faults();
+  attr.injected_faults = dev->injected_faults_total();
   attr.auto_progress = dev->auto_progress();
   attr.doorbell_rings = dev->doorbell().rings();
-  attr.wire_dropped = dev->net().wire_dropped();
+  attr.wire_dropped = dev->wire_dropped_total();
   attr.allow_aggregation = dev->aggregation_default();
   attr.aggregation_eager_max = dev->agg_eager_max();
   attr.aggregation_max_bytes = dev->agg_max_bytes();

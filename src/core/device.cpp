@@ -1,5 +1,9 @@
 // Device: a complete set of low-level network resources. Threads operating
-// on different devices never interfere (paper Sec. 3.2.3 / 4.2).
+// on different devices never interfere (paper Sec. 3.2.3 / 4.2). A device
+// may be split into N internal shards (runtime_attr_t::device_shards), each
+// a full fabric endpoint with its own pre-posted receives and aggregation
+// slots — the VCI idea: threads routed to different shards contend on
+// nothing on the send path.
 #include <algorithm>
 
 #include "core/runtime_impl.hpp"
@@ -7,18 +11,27 @@
 
 namespace lci::detail {
 
+namespace {
+// The TLS shard pin behind lci::pin_thread_shard. Process-wide (one hint for
+// every device) so benches and apps can pin worker t to shard t once,
+// whatever devices they post through.
+thread_local int tls_shard_pin = -1;
+}  // namespace
+
+int thread_shard_hint() noexcept { return tls_shard_pin; }
+
 device_impl_t::device_impl_t(runtime_impl_t* runtime,
                              std::size_t prepost_depth, bool auto_progress)
     : runtime_(runtime),
       prepost_depth_(prepost_depth ? prepost_depth
                                    : runtime->attr().prepost_depth),
-      auto_progress_(auto_progress),
-      net_device_(runtime->net_context().create_device()) {
+      auto_progress_(auto_progress) {
   backlog_.bind_counters(&runtime_->counters());
   // Resolve the eager-coalescing policy (0-defaults filled from the packet
-  // geometry) and size one aggregation slot per peer.
+  // geometry) and size one aggregation slot per (shard, peer).
   const runtime_attr_t& attr = runtime_->attr();
   agg_default_ = attr.allow_aggregation;
+  agg_bypass_single_ = attr.aggregation_bypass_single_poster;
   const std::size_t payload_capacity = runtime_->eager_threshold();
   agg_max_bytes_ = std::min(attr.aggregation_max_bytes != 0
                                 ? attr.aggregation_max_bytes
@@ -29,23 +42,34 @@ device_impl_t::device_impl_t(runtime_impl_t* runtime,
                             agg_max_bytes_ - sizeof(batch_sub_header_t));
   agg_max_msgs_ = std::max<std::size_t>(1, attr.aggregation_max_msgs);
   agg_flush_us_ = attr.aggregation_flush_us;
-  agg_slots_ = std::make_unique<agg_slot_t[]>(
-      static_cast<std::size_t>(runtime_->nranks()));
-  // CQ poll burst: runtime attr, defaulting to the fabric's own burst.
+  // Shards are created in order, so with symmetric configs shard s of the
+  // k-th device on every rank gets the same net index — the fabric's
+  // index-mod routing then pairs shard s with the peers' shard s, keeping
+  // one shard's traffic on one wire mailbox end to end.
+  const std::size_t nshards = std::max<std::size_t>(1, attr.device_shards);
+  const auto nranks = static_cast<std::size_t>(runtime_->nranks());
+  shards_.resize(nshards);
+  for (auto& shard : shards_) {
+    shard.net_device = runtime_->net_context().create_device();
+    shard.agg_slots = std::make_unique<agg_slot_t[]>(nranks);
+    // Every shard rings the same device doorbell: engine wakeups are a
+    // device-level concern, and progress() services all shards anyway.
+    shard.net_device->set_doorbell(&doorbell_);
+  }
+  // CQ poll burst: runtime attr, defaulting to the fabric's own burst. The
+  // clamp is per shard per progress() call (see the round-robin in
+  // progress()).
   const std::size_t burst = attr.cq_poll_burst != 0
                                 ? attr.cq_poll_burst
                                 : runtime_->net_config().poll_burst;
   cq_poll_burst_ = std::clamp<std::size_t>(burst, 1, max_cq_poll_burst);
-  // Always register the doorbell: rings are counted (observable via
-  // get_attr) even when no engine thread ever attaches to this device.
-  net_device_->set_doorbell(&doorbell_);
   runtime_->register_device(this);
-  // Fill the receive queue up front so early senders find buffers; further
+  // Fill the receive queues up front so early senders find buffers; further
   // replenishment is the progress engine's job.
   replenish_preposts();
   if (auto_progress_) runtime_->attach_progress_device(this);
-  LCI_LOG_(debug, "rank %d: device %d up (prepost_depth=%zu auto=%d)",
-           runtime_->rank(), net_device_->index(), prepost_depth_,
+  LCI_LOG_(debug, "rank %d: device %d up (prepost_depth=%zu shards=%zu auto=%d)",
+           runtime_->rank(), net().index(), prepost_depth_, shards_.size(),
            static_cast<int>(auto_progress_));
 }
 
@@ -53,24 +77,32 @@ device_impl_t::~device_impl_t() {
   // Leave the engine first (pause-the-world inside): after this no engine
   // thread can hold a pointer to this device or its doorbell.
   if (auto_progress_) runtime_->detach_progress_device(this);
-  net_device_->set_doorbell(nullptr);
-  // Packets still sitting in the pre-posted receive queue are reclaimed when
+  for (auto& shard : shards_) shard.net_device->set_doorbell(nullptr);
+  // Packets still sitting in the pre-posted receive queues are reclaimed when
   // the pool frees its slabs; quiesce traffic before freeing a device.
   runtime_->unregister_device(this);
 }
 
 bool device_impl_t::replenish_preposts() {
+  // prepost_depth is a per-device budget: split it across the shards so the
+  // packet-pool draw is invariant in the shard count (a 16-packet pool that
+  // leaves 8 packets free at shards=1 still leaves 8 free at shards=4).
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, prepost_depth_ / shards_.size());
   bool advanced = false;
-  while (net_device_->preposted_recvs() < prepost_depth_) {
-    packet_t* packet = runtime_->default_pool().get();
-    if (packet == nullptr) break;  // pool dry; try again next progress call
-    const auto result = net_device_->post_recv(
-        packet->payload(), runtime_->default_pool().packet_capacity(), packet);
-    if (result != net::post_result_t::ok) {
-      runtime_->default_pool().put(packet);
-      break;
+  for (auto& shard : shards_) {
+    while (shard.net_device->preposted_recvs() < per_shard) {
+      packet_t* packet = runtime_->default_pool().get();
+      if (packet == nullptr) return advanced;  // pool dry; retry next progress
+      const auto result = shard.net_device->post_recv(
+          packet->payload(), runtime_->default_pool().packet_capacity(),
+          packet);
+      if (result != net::post_result_t::ok) {
+        runtime_->default_pool().put(packet);
+        break;
+      }
+      advanced = true;
     }
-    advanced = true;
   }
   return advanced;
 }
@@ -91,6 +123,12 @@ void free_device(device_t* device) {
   delete device->p;
   device->p = nullptr;
 }
+
+void pin_thread_shard(int shard) {
+  detail::tls_shard_pin = shard < 0 ? -1 : shard;
+}
+
+int get_thread_shard() { return detail::tls_shard_pin; }
 
 namespace detail {
 bool progress_impl(runtime_t runtime, device_t device) {

@@ -251,6 +251,20 @@ inline uint32_t trace_env_sample() {
   return value;
 }
 
+// Environment default for device sharding (runtime_attr_t::device_shards):
+// LCI_DEVICE_SHARDS=N shards every device of every runtime that does not set
+// the attribute explicitly. Lets CI (and users) turn sharding on for an
+// existing binary without touching its attrs.
+inline std::size_t device_shards_env_default() {
+  static const std::size_t value = []() -> std::size_t {
+    const char* env = std::getenv("LCI_DEVICE_SHARDS");
+    if (env == nullptr || env[0] == '\0') return 1;
+    const long parsed = std::atol(env);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
+  }();
+  return value;
+}
+
 }  // namespace detail
 
 struct runtime_attr_t {
@@ -264,6 +278,15 @@ struct runtime_attr_t {
   // Pre-posted receives the progress engine maintains per device.
   std::size_t prepost_depth = 128;
   std::size_t matching_engine_buckets = 65536;
+  // VCI-style device sharding (paper Sec. 4.2): each device owns this many
+  // internal shards, each with its own fabric endpoint (wire mailbox + CQ +
+  // send locks), pre-posted receives, and aggregation slots. Outgoing traffic
+  // is routed to a shard by the calling thread's pin (pin_thread_shard) or,
+  // unpinned, by a hash of (rank, tag) — either way a (thread, rank, tag)
+  // stream stays on one shard, so per-key FIFO matching is unaffected.
+  // 1 (default) is bit-identical to an unsharded device. Defaults to
+  // LCI_DEVICE_SHARDS when set.
+  std::size_t device_shards = detail::device_shards_env_default();
   cq_type_t default_cq_type = cq_type_t::lcrq;
   std::size_t cq_default_capacity = 65536;
   // Advanced (Sec. 3.3.1): deliver incoming active messages in packets
@@ -303,6 +326,13 @@ struct runtime_attr_t {
   // flush(), or whenever a non-aggregated message to the same peer must not
   // overtake it (the matching-order rule).
   bool allow_aggregation = false;
+  // Single-poster bypass: while only one thread has ever posted eager traffic
+  // to a device, runtime-default aggregation is skipped and messages go out
+  // individually — buffering cannot help a lone poster (nobody shares the
+  // wire) and the flush-age wait only adds latency. The first post from a
+  // second thread permanently re-enables coalescing on that device. Explicit
+  // per-post .allow_aggregation(true) always coalesces regardless.
+  bool aggregation_bypass_single_poster = true;
   std::size_t aggregation_eager_max = 256;
   std::size_t aggregation_max_bytes = 0;  // 0 = packet payload capacity
   std::size_t aggregation_max_msgs = 64;
@@ -363,6 +393,11 @@ class alloc_runtime_x {
   // Default eager-message coalescing policy for the runtime's devices.
   alloc_runtime_x& allow_aggregation(bool v) {
     attr_.allow_aggregation = v;
+    return *this;
+  }
+  // Shards per device (runtime_attr_t::device_shards).
+  alloc_runtime_x& device_shards(std::size_t v) {
+    attr_.device_shards = v;
     return *this;
   }
   // Operation-lifecycle tracing (runtime_attr_t::trace and friends).
@@ -434,12 +469,29 @@ bool kill_peer(int rank, runtime_t runtime = {});
 std::size_t drain(device_t device = {}, uint64_t timeout_us = 0,
                   runtime_t runtime = {});
 
-// Forces every armed aggregation slot on `device` (or only the slot for
+// Forces every armed aggregation slot on `device` (or only the slots for
 // `rank`, when rank >= 0) to post its eager_batch now instead of waiting for
-// a size/age trigger. Returns the number of batches posted; slots whose post
-// hit transient back-pressure stay armed and flush on a later progress().
+// a size/age trigger. Returns the number of batches posted. When a post hits
+// transient back-pressure, flush retries internally (interleaving progress()
+// so local completions keep draining) until every targeted batch is on the
+// wire or has failed fatally — after flush returns, no targeted slot is still
+// armed. Blocking bound: a transient retry clears as soon as the fabric
+// accepts the message, so flush blocks at most until the peer drains enough
+// of its inbound wire mailbox (or dies, which aborts the batch with
+// fatal_peer_down); it never waits on remote matching or completion.
 // A no-op (returns 0) when nothing is buffered.
 std::size_t flush(device_t device = {}, int rank = -1, runtime_t runtime = {});
+
+// Thread-affinity shard routing (paper Sec. 4.2). Pins the calling thread to
+// shard `shard` of every sharded device: its posts (and their coalescing
+// slots) use that shard's fabric endpoint, giving a thread private send
+// resources without any global coordination. The pin is a process-wide TLS
+// hint applied modulo each device's shard count; a negative value unpins
+// (routing falls back to the (rank, tag) hash). Pinning is purely a placement
+// hint — matching is runtime-wide, so correctness never depends on it.
+void pin_thread_shard(int shard);
+// The calling thread's current pin (-1 = unpinned).
+int get_thread_shard();
 
 // ---------------------------------------------------------------------------
 // Resources (Sec. 3.2.3, 4.1)
@@ -562,12 +614,13 @@ class alloc_packet_pool_x {
 // Attribute snapshots, queried with get_attr overloads.
 struct device_attr_t {
   std::size_t prepost_depth = 0;
-  int net_index = -1;           // routing index within the rank's context
+  int net_index = -1;           // routing index of shard 0 within the context
+  std::size_t device_shards = 0;  // internal shards (fabric endpoints)
   std::size_t backlog_size = 0; // queued backlog operations (approximate)
-  uint64_t injected_faults = 0; // forced retries on this device's net queue
+  uint64_t injected_faults = 0; // forced retries, summed over the shards
   bool auto_progress = false;   // serviced by the runtime's progress engine
   uint64_t doorbell_rings = 0;  // wakeup-hint rings observed on this device
-  uint64_t wire_dropped = 0;    // wire messages that evaporated at this device
+  uint64_t wire_dropped = 0;    // evaporated wire messages, summed over shards
   std::vector<int> dead_peers;  // ranks this device knows to be dead
   // Eager-message coalescing policy resolved for this device (runtime attrs
   // with aggregation_max_bytes 0 replaced by the packet payload capacity).

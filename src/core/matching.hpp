@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/lci.hpp"
+#include "util/cacheline.hpp"
 #include "util/spinlock.hpp"
 
 namespace lci::detail {
@@ -241,7 +242,13 @@ class matching_engine_impl_t {
     }
   };
 
-  struct bucket_t {
+  // Cache-line aligned: neighbouring buckets are hit by unrelated keys from
+  // different threads, and an unaligned bucket would put two buckets' locks
+  // on one line — every lock acquisition would then invalidate the neighbour
+  // (false sharing), exactly the contention the per-bucket locking exists to
+  // avoid. sizeof(bucket_t) already exceeds one line (three inline slots),
+  // so the alignment costs no memory beyond rounding.
+  struct alignas(util::cache_line_size) bucket_t {
     mutable util::spinlock_t lock;
     slot_t fast[fast_queues];
     uint8_t nfast = 0;

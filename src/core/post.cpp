@@ -16,16 +16,23 @@ struct resolved_t {
   device_impl_t* device;
   matching_engine_impl_t* engine;
   packet_pool_impl_t* pool;
+  // Shard this post routes to (thread pin or (rank, tag) hash): every wire
+  // post and ordering flush of one call uses the same shard, so a key stream
+  // never straddles endpoints.
+  std::size_t shard;
 };
 
 resolved_t resolve(const post_args_t& args) {
   runtime_impl_t* rt = resolve_runtime(args.runtime);
+  device_impl_t* device =
+      args.device.p != nullptr ? args.device.p : &rt->default_device();
   return resolved_t{
       rt,
-      args.device.p != nullptr ? args.device.p : &rt->default_device(),
+      device,
       args.matching_engine.p != nullptr ? args.matching_engine.p
                                         : &rt->default_engine(),
       args.packet_pool.p != nullptr ? args.packet_pool.p : &rt->default_pool(),
+      device->route_shard(args.rank, args.tag),
   };
 }
 
@@ -150,8 +157,8 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
     assert(wire_size <= sizeof(staging));
     std::memcpy(staging, &header, sizeof(header));
     gather(args, staging + sizeof(header));
-    result = r.device->net().post_send(args.rank, staging, wire_size, 0,
-                                       nullptr);
+    result = r.device->net(r.shard).post_send(args.rank, staging, wire_size, 0,
+                                              nullptr);
     if (result != net::post_result_t::ok) {
       const status_t failed = failed_post_status(r, args, result);
       if (failed.error.is_fatal())
@@ -181,9 +188,8 @@ status_t post_eager_out(const resolved_t& r, const post_args_t& args,
     std::memcpy(packet->payload(), &header, sizeof(header));
     gather(args, packet->payload() + sizeof(header));
   }
-  result =
-      r.device->net().post_send(args.rank, packet->payload(), wire_size, 0,
-                                nullptr);
+  result = r.device->net(r.shard).post_send(args.rank, packet->payload(),
+                                            wire_size, 0, nullptr);
   if (result != net::post_result_t::ok) {
     const status_t failed = failed_post_status(r, args, result);
     // from_packet: the caller keeps its packet across a retry — but a fatal
@@ -254,8 +260,8 @@ status_t post_rendezvous_out(const resolved_t& r, const post_args_t& args,
   msg.payload.size = size;
   msg.payload.rdv_id = rdv_id;
 
-  const auto result =
-      r.device->net().post_send(args.rank, &msg, sizeof(msg), 0, nullptr);
+  const auto result = r.device->net(r.shard).post_send(args.rank, &msg,
+                                                       sizeof(msg), 0, nullptr);
   if (result != net::post_result_t::ok) {
     rdv_send_t rollback;
     if (!r.runtime->pending_sends().take(rdv_id, &rollback)) {
@@ -442,8 +448,10 @@ status_t post_comm_dispatch(const post_args_t& args,
         throw fatal_error_t("buffer lists are not supported for put/get");
       bool blocked = false;
       if (has_remote_comp && r.device->has_armed_aggregation()) {
+        // Per-peer obligation: the signal must not pass any buffered batch
+        // for the peer, whichever shard buffers it (shard -1 = all).
         const errorcode_t flushed =
-            r.device->flush_peer_for_ordering(args.rank);
+            r.device->flush_peer_for_ordering(args.rank, -1);
         if (error_t{flushed}.is_retry()) {
           blocked = true;
           status = retry_status(flushed);
@@ -463,7 +471,7 @@ status_t post_comm_dispatch(const post_args_t& args,
                             : 0;
         net::post_result_t result;
         try {
-          result = r.device->net().post_write(
+          result = r.device->net(r.shard).post_write(
               args.rank, args.local_buffer, args.size, args.remote_buffer.id,
               args.remote_offset, has_remote_comp, imm, ctx);
         } catch (...) {
@@ -488,22 +496,28 @@ status_t post_comm_dispatch(const post_args_t& args,
           has_remote_comp ? msg_header_t::rts_am : msg_header_t::rts;
       const std::size_t size = payload_size(args);
       // Eager-message coalescing: small single-buffer sends/AMs append into
-      // the peer's aggregation slot instead of going out alone.
+      // the peer's aggregation slot instead of going out alone. The
+      // single-poster bypass skips runtime-default coalescing while only one
+      // thread posts to this device — buffering cannot raise a lone poster's
+      // rate, and the flush-age wait only adds latency (the 1-thread fig3
+      // regression). Explicit per-post aggregation is never bypassed.
       const bool agg_on = args.aggregation >= 0
                               ? args.aggregation == 1
                               : r.device->aggregation_default();
       if (agg_on && !args.from_packet && args.buffers == nullptr &&
-          size <= r.device->agg_eager_max()) {
+          size <= r.device->agg_eager_max() &&
+          !r.device->aggregation_bypass(args.aggregation)) {
         status =
             r.device->agg_append(args, eager_kind, r.pool, r.engine, post_span);
       } else {
-        // Matching-order rule: nothing may overtake a buffered batch to the
-        // same peer. A retry here bounces this post too; peer_down lets the
-        // normal path below report the fatal itself (the slot was aborted).
+        // Matching-order rule: nothing may overtake a buffered batch on this
+        // key's shard (earlier same-key traffic can only be buffered there).
+        // A retry here bounces this post too; peer_down lets the normal path
+        // below report the fatal itself (the slot was aborted).
         bool blocked = false;
         if (r.device->has_armed_aggregation()) {
-          const errorcode_t flushed =
-              r.device->flush_peer_for_ordering(args.rank);
+          const errorcode_t flushed = r.device->flush_peer_for_ordering(
+              args.rank, static_cast<int>(r.shard));
           if (error_t{flushed}.is_retry()) {
             blocked = true;
             status = retry_status(flushed);
@@ -528,7 +542,7 @@ status_t post_comm_dispatch(const post_args_t& args,
       bool blocked = false;
       if (has_remote_comp && r.device->has_armed_aggregation()) {
         const errorcode_t flushed =
-            r.device->flush_peer_for_ordering(args.rank);
+            r.device->flush_peer_for_ordering(args.rank, -1);
         if (error_t{flushed}.is_retry()) {
           blocked = true;
           status = retry_status(flushed);
@@ -548,7 +562,7 @@ status_t post_comm_dispatch(const post_args_t& args,
                             : 0;
         net::post_result_t result;
         try {
-          result = r.device->net().post_read(
+          result = r.device->net(r.shard).post_read(
               args.rank, args.local_buffer, args.size, args.remote_buffer.id,
               args.remote_offset, has_remote_comp, imm, ctx);
         } catch (...) {

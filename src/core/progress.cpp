@@ -74,10 +74,11 @@ status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
                   uint32_t pending_id, net::mr_id_t mr) {
   // Matching-order rule: an RTR unlocks an RDMA write into this rank, which
   // the peer completes locally — it must not overtake a batch buffered for
-  // the peer. A retry bounces the RTR too (callers backlog it); peer_down
-  // falls through so the post below reports it.
+  // the peer. The ordering obligation is per-peer, so every shard's slot for
+  // the peer is flushed (shard -1). A retry bounces the RTR too (callers
+  // backlog it); peer_down falls through so the post below reports it.
   if (device->has_armed_aggregation()) {
-    const errorcode_t flushed = device->flush_peer_for_ordering(peer_rank);
+    const errorcode_t flushed = device->flush_peer_for_ordering(peer_rank, -1);
     if (error_t{flushed}.is_retry()) {
       status_t status;
       status.error.code = flushed;
@@ -89,8 +90,8 @@ status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
   msg.payload.rdv_id = rdv_id;
   msg.payload.pending_id = pending_id;
   msg.payload.mr_id = mr;
-  const auto result =
-      device->net().post_send(peer_rank, &msg, sizeof(msg), 0, nullptr);
+  const auto result = device->net_for(peer_rank, 0).post_send(
+      peer_rank, &msg, sizeof(msg), 0, nullptr);
   status_t status;
   status.error = map_net_result(result);
   return status;
@@ -240,7 +241,7 @@ void complete_eager_recv(runtime_impl_t* runtime, recv_entry_t* entry,
 
 void device_impl_t::handle_recv(const net::cqe_t& cqe) {
   auto* packet = static_cast<packet_t*>(cqe.user_context);
-  if (net_device_->is_peer_down(cqe.peer_rank)) {
+  if (net().is_peer_down(cqe.peer_rank)) {
     // The sender died after this message reached our CQ: evaporate it, as if
     // it had been lost on the wire. Without this, traffic already queued
     // locally could resurrect a dead peer's messages after the purge ran.
@@ -416,14 +417,18 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       const int peer = cqe.peer_rank;
       const net::mr_id_t mr = rtr.mr_id;
       const uint32_t imm = encode_fin_imm(rtr.pending_id);
+      // Pick the write's shard once (by the send's key) and capture the
+      // endpoint: a backlogged retry may run on a progress-engine thread
+      // whose TLS pin would route differently.
+      net::device_t* wire = &net_for(peer, send.tag);
       // Single owner of `staged` and `ctx` on every exit: retry keeps both
       // for the next attempt, done hands ctx to the write CQE and frees the
       // gather, fatal (including peer death mid-handshake) and cancel free
       // both and deliver the error to the user's comp (this path used to
       // leak ctx and drop the completion silently). Must not throw: the
       // backlog queue retires whatever status comes back.
-      auto attempt = [this, peer, src, mr, imm, ctx,
-                      staged](backlog_action_t action) {
+      auto attempt = [this, peer, src, mr, imm, ctx, staged,
+                      wire](backlog_action_t action) {
         status_t status;
         if (action == backlog_action_t::cancel) {
           delete[] staged;
@@ -440,7 +445,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
           return status;
         }
         try {
-          status.error = map_net_result(net_device_->post_write(
+          status.error = map_net_result(wire->post_write(
               peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
         } catch (const std::exception&) {
           status.error.code = errorcode_t::fatal;
@@ -584,15 +589,38 @@ bool device_impl_t::progress() {
     const uint64_t age_ns = agg_flush_us_ * 1000;
     if (now > age_ns) advanced |= flush_aggregation(-1, now - age_ns) > 0;
   }
-  // (4) Poll the device. The burst is runtime_attr_t::cq_poll_burst resolved
-  // against the fabric's poll burst at device construction.
+  // (4) Poll every shard's CQ, one burst each. The burst is
+  // runtime_attr_t::cq_poll_burst resolved against the fabric's poll burst at
+  // device construction — and it is a *per-shard* clamp: a burst larger than
+  // one shard's pending depth must not let that shard's traffic monopolize
+  // the call. Every shard is polled on every call (so `advanced == false`
+  // still means "nothing pending anywhere", which quiescence loops rely
+  // on); only the *order* varies. A pinned thread starts with its own shard
+  // — that is where its posts complete and where its inbound traffic lands
+  // under symmetric pinning — and takes the siblings after; unpinned
+  // threads rotate the starting shard so no shard's depth can monopolize
+  // the burst budget. The rotation cursor is thread-local: a shared atomic
+  // here would put one contended cache line back on every thread's poll
+  // path, which is the very sharing the shards exist to remove.
   net::cqe_t cqes[max_cq_poll_burst];
-  const auto polled = net_device_->poll_cq(cqes, cq_poll_burst_);
-  for (std::size_t i = 0; i < polled.count; ++i) {
-    // Accumulate with |= so every CQE is handled; `advanced` must report only
-    // what handle_cqe says (the old `|| cqe.op != send` term claimed progress
-    // for no-op completions, defeating callers that spin until quiescence).
-    advanced |= handle_cqe(cqes[i]);
+  const std::size_t n = shards_.size();
+  std::size_t start = 0;
+  if (n > 1) {
+    static thread_local std::size_t tls_poll_cursor = 0;
+    const int pin = thread_shard_hint();
+    start = pin >= 0 ? static_cast<std::size_t>(pin) % n
+                     : tls_poll_cursor++ % n;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto polled =
+        shards_[(start + k) % n].net_device->poll_cq(cqes, cq_poll_burst_);
+    for (std::size_t i = 0; i < polled.count; ++i) {
+      // Accumulate with |= so every CQE is handled; `advanced` must report
+      // only what handle_cqe says (the old `|| cqe.op != send` term claimed
+      // progress for no-op completions, defeating callers that spin until
+      // quiescence).
+      advanced |= handle_cqe(cqes[i]);
+    }
   }
   // (7) Keep the receive queue full.
   advanced |= replenish_preposts();

@@ -132,14 +132,15 @@ uint64_t runtime_impl_t::injected_faults() const {
   std::lock_guard<util::spinlock_t> guard(device_lock_);
   uint64_t total = 0;
   for (device_impl_t* device : devices_)
-    total += device->net().injected_faults();
+    total += device->injected_faults_total();
   return total;
 }
 
 uint64_t runtime_impl_t::dropped_wire_messages() const {
   std::lock_guard<util::spinlock_t> guard(device_lock_);
   uint64_t total = 0;
-  for (device_impl_t* device : devices_) total += device->net().wire_dropped();
+  for (device_impl_t* device : devices_)
+    total += device->wire_dropped_total();
   return total;
 }
 

@@ -19,8 +19,10 @@
 #include "core/progress_engine.hpp"
 #include "core/protocol.hpp"
 #include "net/net.hpp"
+#include "util/cacheline.hpp"
 #include "util/mpmc_array.hpp"
 #include "util/spinlock.hpp"
+#include "util/thread.hpp"
 
 namespace lci::detail {
 
@@ -34,6 +36,10 @@ inline uint64_t now_ns() noexcept {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// The calling thread's shard pin (set via lci::pin_thread_shard, applied
+// modulo each device's shard count); -1 = unpinned. Defined in device.cpp.
+int thread_shard_hint() noexcept;
 
 // How a backlogged operation is being invoked: `run` retries the submission;
 // `cancel` tells the op it will never run again and must deliver
@@ -318,7 +324,10 @@ struct agg_pending_t {
   trace::span_t span;  // op span: coalesced sub-op post -> flush resolution
 };
 
-struct agg_slot_t {
+// Cache-line aligned: slots are indexed by (shard, peer) from concurrently
+// posting threads; without the padding two peers' slots (or two shards'
+// arrays) could share a line and turn independent appends into false sharing.
+struct alignas(util::cache_line_size) agg_slot_t {
   util::spinlock_t lock;
   packet_t* packet = nullptr;  // staging packet; null = slot empty
   uint32_t bytes = 0;          // batch payload bytes used (headers + padding)
@@ -362,7 +371,44 @@ class device_impl_t {
   device_impl_t& operator=(const device_impl_t&) = delete;
 
   runtime_impl_t* runtime() const noexcept { return runtime_; }
-  net::device_t& net() noexcept { return *net_device_; }
+  // Shard 0's endpoint. Correct for fabric-wide queries (is_peer_down,
+  // death_epoch, index) — failure state is shared by every endpoint of a
+  // fabric — and for any post when the device is unsharded.
+  net::device_t& net() noexcept { return *shards_[0].net_device; }
+  net::device_t& net(std::size_t shard) noexcept {
+    return *shards_[shard].net_device;
+  }
+  std::size_t nshards() const noexcept { return shards_.size(); }
+  // VCI-style affinity routing (paper Sec. 4.2): a pinned thread uses its
+  // own shard (private send resources, no coordination); unpinned threads
+  // hash (rank, tag) so a given key stream always lands on the same shard —
+  // per-key FIFO survives because one key never straddles shards.
+  std::size_t route_shard(int rank, tag_t tag) const noexcept {
+    const std::size_t n = shards_.size();
+    if (n == 1) return 0;
+    const int pin = thread_shard_hint();
+    if (pin >= 0) return static_cast<std::size_t>(pin) % n;
+    uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(rank)) << 32) |
+                 static_cast<uint64_t>(static_cast<uint32_t>(tag));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % n);
+  }
+  net::device_t& net_for(int rank, tag_t tag) noexcept {
+    return net(route_shard(rank, tag));
+  }
+  // Forced-retry / wire-drop diagnostics, summed over the shards.
+  uint64_t injected_faults_total() const noexcept {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.net_device->injected_faults();
+    return sum;
+  }
+  uint64_t wire_dropped_total() const noexcept {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.net_device->wire_dropped();
+    return sum;
+  }
   backlog_queue_t& backlog() noexcept { return backlog_; }
   std::size_t prepost_depth() const noexcept { return prepost_depth_; }
   bool auto_progress() const noexcept { return auto_progress_; }
@@ -388,6 +434,35 @@ class device_impl_t {
   bool has_armed_aggregation() const noexcept {
     return armed_slots_.load(std::memory_order_acquire) > 0;
   }
+  // True while any shard still buffers sub-messages for `rank` (rank < 0:
+  // for anyone). Used by lci::flush to decide whether to keep retrying.
+  bool has_armed_aggregation(int rank) const noexcept {
+    if (armed_slots_.load(std::memory_order_acquire) == 0) return false;
+    if (rank < 0) return true;
+    for (const auto& s : shards_) {
+      if (s.agg_slots[static_cast<std::size_t>(rank)].armed_ns.load(
+              std::memory_order_acquire) != 0)
+        return true;
+    }
+    return false;
+  }
+  // Single-poster bypass (runtime_attr_t::aggregation_bypass_single_poster):
+  // true = skip runtime-default coalescing because only one thread has ever
+  // posted agg-eligible traffic to this device. The first observation of a
+  // second poster flips multi_poster_ permanently. A per-post explicit
+  // .allow_aggregation(true) (override > 0) never bypasses.
+  bool aggregation_bypass(int8_t per_post_override) noexcept {
+    if (per_post_override > 0 || !agg_bypass_single_) return false;
+    if (agg_multi_poster_.load(std::memory_order_relaxed)) return false;
+    const int me = static_cast<int>(util::thread_id());
+    int last = agg_last_poster_.load(std::memory_order_relaxed);
+    if (last == me) return true;
+    if (last < 0 && agg_last_poster_.compare_exchange_strong(
+                        last, me, std::memory_order_relaxed))
+      return true;
+    agg_multi_poster_.store(true, std::memory_order_relaxed);
+    return false;
+  }
   // Appends one eager sub-message (eager_send or eager_am) to the peer's
   // slot, posting the current batch first when it would overflow. Returns
   // done (copy made, nothing owed), posted (completion deferred to the
@@ -401,26 +476,40 @@ class device_impl_t {
   // The matching-order rule: called before any non-aggregated message is
   // posted to `rank`. done = slot empty or batch posted; retry = the batch
   // could not go out, so the caller's message must bounce with retry too;
-  // fatal_peer_down = the peer is dead (slot aborted).
-  errorcode_t flush_peer_for_ordering(int rank);
+  // fatal_peer_down = the peer is dead (slot aborted). `shard` names the
+  // shard the caller is about to post on — only that shard's slot can hold
+  // earlier same-key traffic, since a key never straddles shards. Pass -1 to
+  // flush the peer's slots on every shard (RTR / RMA-with-signal paths,
+  // whose ordering obligation is per-peer, not per-key).
+  errorcode_t flush_peer_for_ordering(int rank, int shard = -1);
   // Fails every buffered sub-op with `code` (exactly once, via the record
   // CAS for tracked entries) and discards slot contents. rank < 0 = all.
   std::size_t abort_aggregation(int rank, errorcode_t code);
 
  private:
+  // One shard = one fabric endpoint (wire mailbox + CQ + send locks) plus
+  // its own per-peer aggregation slots and pre-posted receives. Cache-line
+  // aligned so concurrently posting threads on neighbouring shards never
+  // false-share the shard descriptors.
+  struct alignas(util::cache_line_size) shard_t {
+    std::unique_ptr<net::device_t> net_device;
+    std::unique_ptr<agg_slot_t[]> agg_slots;  // one per peer
+  };
+
   bool replenish_preposts();
   bool handle_cqe(const net::cqe_t& cqe);
   void handle_recv(const net::cqe_t& cqe);
   void handle_batch_recv(const net::cqe_t& cqe);  // defined in coalesce.cpp
-  agg_slot_t& agg_slot(int rank) noexcept {
-    return agg_slots_[static_cast<std::size_t>(rank)];
+  agg_slot_t& agg_slot(std::size_t shard, int rank) noexcept {
+    return shards_[shard].agg_slots[static_cast<std::size_t>(rank)];
   }
-  // Posts the slot's batch; caller holds slot.lock. On ok (returns done) or
-  // peer_down the slot's pending entries are detached into `resolved` —
-  // completions are delivered by the caller *after* dropping the lock, since
-  // handlers may re-enter the posting path — and the slot is cleared. On a
-  // retry code the slot is left intact.
-  errorcode_t post_batch_locked(agg_slot_t& slot, int rank,
+  // Posts the slot's batch on `net` (the endpoint of the shard the slot
+  // belongs to); caller holds slot.lock. On ok (returns done) or peer_down
+  // the slot's pending entries are detached into `resolved` — completions
+  // are delivered by the caller *after* dropping the lock, since handlers
+  // may re-enter the posting path — and the slot is cleared. On a retry code
+  // the slot is left intact.
+  errorcode_t post_batch_locked(agg_slot_t& slot, net::device_t& net, int rank,
                                 std::vector<agg_pending_t>& resolved);
   // Discards the slot's contents (caller holds slot.lock), detaching the
   // pending entries into `out` for the caller to fail after unlock. `code`
@@ -432,15 +521,17 @@ class device_impl_t {
   const std::size_t prepost_depth_;
   const bool auto_progress_;
   doorbell_impl_t doorbell_;
-  std::unique_ptr<net::device_t> net_device_;
+  std::vector<shard_t> shards_;
   backlog_queue_t backlog_;
 
-  // Aggregation slots, one per peer, plus the resolved policy. armed_slots_
-  // counts slots holding data so the (default-off) fast paths stay a single
-  // relaxed load.
-  std::unique_ptr<agg_slot_t[]> agg_slots_;
+  // armed_slots_ counts slots holding data across all shards so the
+  // (default-off) fast paths stay a single relaxed load; the resolved
+  // aggregation policy follows.
   std::atomic<int> armed_slots_{0};
   bool agg_default_ = false;
+  bool agg_bypass_single_ = true;
+  std::atomic<int> agg_last_poster_{-1};   // dense util::thread_id of poster 0
+  std::atomic<bool> agg_multi_poster_{false};
   std::size_t agg_eager_max_ = 0;
   std::size_t agg_max_bytes_ = 0;
   std::size_t agg_max_msgs_ = 0;

@@ -113,6 +113,11 @@ struct config_t {
   // aggregation_max_msgs under windowed/streaming traffic at the cost of a
   // bounded delivery delay (the classic parcel-coalescing trade).
   uint64_t aggregation_flush_us = 0;
+  // lci backend: internal shards per device (lci runtime_attr_t::
+  // device_shards) — each shard owns its own network endpoint and
+  // aggregation slots, and threads can pin themselves to a shard with
+  // lci::pin_thread_shard. 0 = runtime default. Other backends ignore this.
+  std::size_t device_shards = 0;
 };
 
 // Collective call: every rank must allocate its context before any traffic

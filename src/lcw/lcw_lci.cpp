@@ -126,6 +126,7 @@ class lci_context_t final : public context_t {
     // slots fill toward aggregation_max_msgs.
     if (config.enable_aggregation)
       attr.aggregation_flush_us = config.aggregation_flush_us;
+    if (config.device_shards != 0) attr.device_shards = config.device_shards;
     runtime_ = lci::alloc_runtime(attr);
     devices_.reserve(static_cast<std::size_t>(config.ndevices));
     for (int i = 0; i < config.ndevices; ++i)

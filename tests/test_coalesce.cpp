@@ -16,12 +16,16 @@ lci::runtime_attr_t agg_attr() {
   lci::runtime_attr_t attr;
   attr.matching_engine_buckets = 256;
   attr.allow_aggregation = true;
+  // These tests assert exact coalescing counters from single-threaded
+  // posters, so the single-poster bypass must not silently divert their
+  // traffic to the plain eager path.
+  attr.aggregation_bypass_single_poster = false;
   return attr;
 }
 
-// flush() posts each armed batch at most once and leaves a slot armed on a
-// transient retry (fabric lock contention, send-queue backpressure); loop
-// with progress until it actually goes out.
+// flush() retries transient back-pressure internally, so one call posts
+// every armed batch; the loop remains for batches that are not armed yet at
+// the first call (e.g. an age-flush race re-arming a slot).
 std::size_t flush_until_posted() {
   for (int i = 0; i < 100000; ++i) {
     const std::size_t n = lci::flush();
@@ -252,6 +256,10 @@ TEST(Coalesce, DeadlineAndCancelOnBufferedSubOps) {
   lci::sim::spawn(2, [&](int rank) {
     lci::g_runtime_init(attr);
     if (rank == 0) {
+      // Tags 1 and 2 hash to different shards when device_shards > 1; pin
+      // this thread so both sub-ops park in one slot and the flush posts
+      // exactly one batch regardless of the shard count.
+      lci::pin_thread_shard(0);
       lci::comp_t cq = lci::alloc_cq();
       char out[8] = "timed";
 
@@ -291,6 +299,7 @@ TEST(Coalesce, DeadlineAndCancelOnBufferedSubOps) {
       EXPECT_EQ(c.ops_canceled, 1u);
       EXPECT_EQ(c.comp_fatal, 2u);
       lci::free_comp(&cq);
+      lci::pin_thread_shard(-1);  // don't leak the pin to later tests
     }
     lci::barrier();
     lci::g_runtime_fina();

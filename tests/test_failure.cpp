@@ -228,6 +228,9 @@ TEST(PeerDeath, FlushToDeadPeerFailsBufferedSubOpsOnce) {
   lci::sim::spawn(2, [&](int rank) {
     lci::runtime_attr_t attr = small_attr();
     attr.allow_aggregation = true;
+    // The sends must park in the slot until kill_peer(); the single-poster
+    // bypass would post them immediately and nothing would be buffered.
+    attr.aggregation_bypass_single_poster = false;
     attr.aggregation_flush_us = 1000000;  // no age flush: only the purge
     lci::g_runtime_init(attr);
     if (rank == 0) {

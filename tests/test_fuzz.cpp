@@ -52,6 +52,9 @@ TEST_P(Fuzz, TaggedTrafficMatchesOracle) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
     attr.allow_aggregation = aggregation;
+    // Each rank posts from one thread; without this the single-poster bypass
+    // would turn the "_agg" variants into plain eager replays.
+    attr.aggregation_bypass_single_poster = false;
     attr.trace = trace;
     attr.trace_ring_size = 512;  // small: wraparound under load
     lci::g_runtime_init(attr);
@@ -203,6 +206,7 @@ TEST_P(Fuzz, RmaPutsMatchShadow) {
     lci::runtime_attr_t attr;
     attr.matching_engine_buckets = 512;
     attr.allow_aggregation = aggregation;
+    attr.aggregation_bypass_single_poster = false;
     attr.trace = trace;
     attr.trace_ring_size = 512;
     lci::g_runtime_init(attr);

@@ -111,6 +111,9 @@ TEST(Trace, OffRecordsNothing) {
 TEST(Trace, SpanPairingAcrossProtocols) {
   lci::runtime_attr_t attr = traced_attr();
   attr.allow_aggregation = true;
+  // One posting thread per rank: keep the single-poster bypass off so the
+  // 8 B sends actually coalesce and emit post_batch spans.
+  attr.aggregation_bypass_single_poster = false;
   attr.aggregation_flush_us = 0;  // flush per progress poll
   lci::sim::spawn(2, [&](int rank) {
     lci::g_runtime_init(attr);
@@ -205,6 +208,9 @@ TEST(Trace, SpanPairingAcrossProtocols) {
 TEST(Trace, FatalTimeoutAndCancelEndSpans) {
   lci::runtime_attr_t attr = traced_attr();
   attr.allow_aggregation = true;
+  // The test needs the sends parked in a slot; the single-poster bypass
+  // would send them straight through and there would be nothing to cancel.
+  attr.aggregation_bypass_single_poster = false;
   attr.aggregation_flush_us = 1000000;  // no age flush in-test
   lci::sim::spawn(2, [&](int rank) {
     lci::g_runtime_init(attr);
