@@ -8,16 +8,26 @@
 // Expected shape (paper Fig. 4): LCI leads at small/medium sizes (the
 // threading-efficiency regime); all libraries converge at large sizes where
 // the wire (here: memcpy) dominates.
+//
+// Backend axis: by default the sweep runs on the simulated fabric (rows
+// tagged net=sim). Launched under scripts/launch_local.sh with LCI_NRANKS>1
+// the binary instead runs a real-transport bandwidth sweep between ranks 0
+// and 1 over the ambient backend (net=shm or net=tcp), and each row carries
+// the registration-cache hit/miss deltas so scripts/check_bench.py can gate
+// the steady-state hit rate on rendezvous traffic.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "pingpong.hpp"
 
 namespace {
 
-void run_mode(const char* title, bool dedicated,
-              const std::vector<lcw::backend_t>& backends, int threads,
-              long iterations) {
+void run_mode(bench::json_report_t& report, const char* title, const char* mode,
+              bool dedicated, const std::vector<lcw::backend_t>& backends,
+              int threads, long iterations) {
   bench::print_header(title, "size(B)  backend  GB/s  (aggregate uni-dir)");
   // Paper sweeps 16B..1MiB; sample one point per 8x octave and shrink the
   // iteration count with size so the wall time per configuration stays
@@ -37,13 +47,19 @@ void run_mode(const char* title, bool dedicated,
       const auto result = bench::run_pingpong(params);
       std::printf("%7zu  %7s  %7.3f\n", size, lcw::to_string(backend),
                   result.gb_per_sec);
+      report.row()
+          .field("net", std::string("sim"))
+          .field("mode", std::string(mode))
+          .field("backend", std::string(lcw::to_string(backend)))
+          .field("threads", threads)
+          .field("msg_size", static_cast<long>(size))
+          .field("gb_per_sec", result.gb_per_sec);
     }
   }
 }
 
-}  // namespace
-
-int main() {
+void run_sim() {
+  bench::json_report_t report("fig4_bandwidth");
   const int threads = std::max(2, bench::max_threads() / 2);
   const long iterations = bench::iters(400);
   std::printf(
@@ -51,9 +67,122 @@ int main() {
       "# one simulated process per node, %d threads each; GASNet-EX absent "
       "(no send-receive, as in the paper)\n",
       threads);
-  run_mode("(a) Dedicated resources", true,
+  run_mode(report, "(a) Dedicated resources", "dedicated", true,
            {lcw::backend_t::lci, lcw::backend_t::mpix}, threads, iterations);
-  run_mode("(b) Shared resources", false,
+  run_mode(report, "(b) Shared resources", "shared", false,
            {lcw::backend_t::lci, lcw::backend_t::mpi}, threads, iterations);
+}
+
+// Real-transport sweep: one rank of a launch_local.sh job. Rank 1 streams a
+// window of sends at rank 0; rank 0 receives into one reused buffer, times
+// the stream, and snapshots the registration-cache counters. Rendezvous
+// registration happens on the *receiver* (the RTR carries the target MR), so
+// the reused recv buffer is what hammers the cache: steady state is one miss
+// for the buffer, then all hits.
+void run_real() {
+  lci::g_runtime_init();
+  const int me = lci::get_rank_me();
+  const char* net =
+      lci::net::to_string(lci::get_attr(lci::runtime_t{}).backend);
+  const long base_iters = bench::iters(400);
+  constexpr int kWindow = 16;
+  constexpr int kTag = 4;
+
+  bench::json_report_t report(std::string("fig4_bandwidth_") + net);
+  if (me == 0)
+    bench::print_header((std::string("Real transport (net=") + net + ")")
+                            .c_str(),
+                        "size(B)  GB/s  reg_hits  reg_misses");
+
+  for (std::size_t size = 16; size <= (1u << 20); size *= 8) {
+    const long iters = std::max<long>(
+        base_iters / static_cast<long>(1 + size / 2048), 16);
+    lci::barrier();
+    if (me == 0) {
+      std::vector<char> in(size, 0);
+      lci::comp_t recv_sync = lci::alloc_sync(1);
+      const lci::counters_t before = lci::get_counters();
+      const double t0 = bench::now_sec();
+      // One outstanding recv at a time: the sender's window rides the
+      // transport's buffering, and serialized recvs keep matching trivial.
+      for (long i = 0; i < iters; ++i) {
+        lci::status_t r =
+            lci::post_recv(1, in.data(), size, kTag, recv_sync);
+        if (r.error.is_posted()) lci::sync_wait(recv_sync, &r);
+      }
+      const double elapsed = bench::now_sec() - t0;
+      const lci::counters_t after = lci::get_counters();
+      char ack = 1;
+      lci::status_t s;
+      do {
+        s = lci::post_send(1, &ack, 1, kTag + 1, {});
+        lci::progress();
+      } while (s.error.is_retry());
+      const double gbps = static_cast<double>(iters) *
+                          static_cast<double>(size) / elapsed / 1e9;
+      const long hits =
+          static_cast<long>(after.reg_cache_hits - before.reg_cache_hits);
+      const long misses =
+          static_cast<long>(after.reg_cache_misses - before.reg_cache_misses);
+      std::printf("%7zu  %7.3f  %8ld  %10ld\n", size, gbps, hits, misses);
+      report.row()
+          .field("net", std::string(net))
+          .field("mode", std::string("real"))
+          .field("backend", std::string("lci"))
+          .field("threads", 1)
+          .field("msg_size", static_cast<long>(size))
+          .field("reg_hits", hits)
+          .field("reg_misses", misses)
+          .field("gb_per_sec", gbps);
+      lci::free_comp(&recv_sync);
+    } else if (me == 1) {
+      std::vector<char> out(size, 'x');
+      char ack = 0;
+      lci::comp_t ack_sync = lci::alloc_sync(1);
+      lci::status_t ack_status =
+          lci::post_recv(0, &ack, 1, kTag + 1, ack_sync);
+      std::vector<lci::comp_t> send_sync(kWindow);
+      std::vector<bool> in_flight(kWindow, false);
+      for (auto& sy : send_sync) sy = lci::alloc_sync(1);
+      for (long i = 0; i < iters; ++i) {
+        const int slot = static_cast<int>(i % kWindow);
+        if (in_flight[slot]) {
+          lci::status_t done;
+          lci::sync_wait(send_sync[slot], &done);
+          in_flight[slot] = false;
+        }
+        lci::status_t s;
+        do {
+          s = lci::post_send(0, out.data(), size, kTag, send_sync[slot]);
+          lci::progress();
+        } while (s.error.is_retry());
+        in_flight[slot] = s.error.is_posted();
+      }
+      for (int slot = 0; slot < kWindow; ++slot) {
+        if (!in_flight[slot]) continue;
+        lci::status_t done;
+        lci::sync_wait(send_sync[slot], &done);
+      }
+      if (ack_status.error.is_posted()) lci::sync_wait(ack_sync, &ack_status);
+      for (auto& sy : send_sync) lci::free_comp(&sy);
+      lci::free_comp(&ack_sync);
+    }
+  }
+  lci::barrier();
+  if (me != 0) {
+    // Only rank 0 holds measurements; suppress the empty sibling report.
+    setenv("LCI_BENCH_JSON", "0", 1);
+  }
+  lci::g_runtime_fina();
+}
+
+}  // namespace
+
+int main() {
+  const char* nranks_env = std::getenv("LCI_NRANKS");
+  if (nranks_env != nullptr && std::atoi(nranks_env) > 1)
+    run_real();
+  else
+    run_sim();
   return 0;
 }

@@ -1,0 +1,90 @@
+// Pingpong: round-trip latency between rank 0 and rank 1, runnable on every
+// backend.
+//
+// Single-process (sim, the default): spawns two simulated ranks, exactly like
+// quickstart.
+//
+// Multi-process (shm / tcp): run under the local launcher, which provides the
+// bootstrap environment —
+//   scripts/launch_local.sh -n 2 -b shm -- ./build/examples/pingpong
+//   scripts/launch_local.sh -n 4 -b tcp -- ./build/examples/pingpong
+// Ranks beyond the first two only participate in the closing barrier.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/lci.hpp"
+
+namespace {
+
+void run_rank() {
+  lci::g_runtime_init();
+  const int me = lci::get_rank_me();
+  const int nranks = lci::get_rank_n();
+
+  if (nranks >= 2 && me < 2) {
+    const int peer = 1 - me;
+    const std::size_t sizes[] = {8, 512, 4096, 65536};  // eager -> rendezvous
+    const int warmup = 10, iters = 200;
+    for (const std::size_t size : sizes) {
+      std::vector<char> out(size, static_cast<char>('a' + me));
+      std::vector<char> in(size, 0);
+      lci::comp_t sync = lci::alloc_sync(1);
+      lci::comp_t send_sync = lci::alloc_sync(1);
+      auto start = std::chrono::steady_clock::now();
+      for (int i = -warmup; i < iters; ++i) {
+        if (i == 0) start = std::chrono::steady_clock::now();
+        auto roundtrip = [&](bool send_first) {
+          lci::status_t recv_status =
+              lci::post_recv(peer, in.data(), size, /*tag=*/3, sync);
+          // Rendezvous sends hand `out` to the transport until the send
+          // completion fires — wait for it before the buffer is reused (or
+          // freed at the end of the size sweep).
+          auto send = [&] {
+            lci::status_t s;
+            do {
+              s = lci::post_send(peer, out.data(), size, 3, send_sync);
+              lci::progress();
+            } while (s.error.is_retry());
+            if (s.error.is_posted()) lci::sync_wait(send_sync, &s);
+          };
+          if (send_first) send();
+          if (recv_status.error.is_posted())
+            lci::sync_wait(sync, &recv_status);
+          if (!send_first) send();
+        };
+        roundtrip(me == 0);
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (me == 0) {
+        const double us =
+            std::chrono::duration<double, std::micro>(elapsed).count() / iters;
+        std::printf("pingpong %8zu B : %8.2f us/roundtrip\n", size, us);
+      }
+      if (std::memcmp(in.data(), out.data(), size) == 0 && size > 0) {
+        std::fprintf(stderr, "pingpong: rank %d received its own pattern\n",
+                     me);
+        std::exit(1);
+      }
+      lci::free_comp(&send_sync);
+      lci::free_comp(&sync);
+    }
+  }
+
+  lci::barrier();
+  lci::g_runtime_fina();
+}
+
+}  // namespace
+
+int main() {
+  const char* nranks_env = std::getenv("LCI_NRANKS");
+  if (nranks_env != nullptr && std::atoi(nranks_env) > 1) {
+    run_rank();  // one rank of a multi-process job (launch_local.sh)
+  } else {
+    lci::sim::spawn(2, [](int) { run_rank(); });
+  }
+  return 0;
+}

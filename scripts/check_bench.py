@@ -202,6 +202,44 @@ def check_single_thread_agg_invariant(results, tolerance=0.15):
                 f"lci+agg/lci ratio {median:.2f} across {n} config(s)")
 
 
+def check_reg_cache_invariant(results_dirs, min_rate):
+    """Registration-cache invariant from the net-backend work: on the
+    real-transport fig4 sweep the receive buffer is reused every iteration,
+    so after the first (cold) registration every rendezvous receive must hit
+    the cache. Rows whose reg_hits + reg_misses is large enough to be a
+    steady-state sample (>= 8 registrations) must show a hit rate of at
+    least min_rate; eager rows (no registrations) are skipped. Reports are
+    named BENCH_fig4_bandwidth_<net>.json — absent reports (a sim-only run)
+    simply mean there is nothing to check."""
+    failures, checked = [], 0
+    for results_dir in results_dirs:
+        if not os.path.isdir(results_dir):
+            continue
+        for fname in sorted(os.listdir(results_dir)):
+            if not fname.startswith("BENCH_fig4_bandwidth_") or \
+               not fname.endswith(".json"):
+                continue
+            report = load_report(os.path.join(results_dir, fname))
+            for row in report.get("rows", []):
+                hits = row.get("reg_hits", 0)
+                misses = row.get("reg_misses", 0)
+                total = hits + misses
+                if total < 8:
+                    continue
+                checked += 1
+                rate = hits / total
+                if rate < min_rate:
+                    failures.append(
+                        f"reg-cache hit-rate invariant violated: "
+                        f"{fname} net={row.get('net')} "
+                        f"msg_size={row.get('msg_size')}: "
+                        f"{hits}/{total} = {rate:.0%} < {min_rate:.0%}")
+    if failures:
+        return failures, None
+    return [], (f"reg-cache invariant holds: >= {min_rate:.0%} steady-state "
+                f"hit rate in {checked} rendezvous row(s)")
+
+
 def merge_results(name, paths):
     """Best-per-row merge across repeated runs of the same bench."""
     metric, higher_better = METRICS[name]
@@ -228,8 +266,14 @@ def merge_results(name, paths):
 
 
 def run_check(baseline_dir, results_dirs, warn_threshold, fail_threshold,
-              agg_factor):
+              agg_factor, reg_cache_rate=0.90):
     failures, warnings, checked = [], [], 0
+    reg_fails, reg_note = check_reg_cache_invariant(results_dirs,
+                                                    reg_cache_rate)
+    if reg_fails:
+        failures.extend(reg_fails)
+    elif reg_note:
+        print(f"  {reg_note}")
     for name in sorted(METRICS):
         base_path = os.path.join(baseline_dir, f"BENCH_{name}.json")
         new_paths = [os.path.join(d, f"BENCH_{name}.json")
@@ -284,8 +328,10 @@ def run_check(baseline_dir, results_dirs, warn_threshold, fail_threshold,
 def self_test():
     """Exercises the gate logic on synthetic reports: a clean pass, a 50%
     regression (must fail), a broken aggregation invariant (must fail), a
-    4->8 thread cliff (must fail), and a 1-thread aggregation penalty
-    (must fail)."""
+    4->8 thread cliff (must fail), a 1-thread aggregation penalty (must
+    fail), and the registration-cache hit-rate invariant (healthy 15/16
+    passes, cold-every-time 5/16 fails; eager rows with zero registrations
+    are exempt)."""
     import tempfile
 
     def write(dirname, name, rows, smoke=1):
@@ -371,6 +417,26 @@ def self_test():
         print("== self-test: one good run among the merged set must pass")
         assert run_check(base, [bad, good], 0.10, 0.35, 2.0) == 0
 
+    def fig4_rows(hits, misses):
+        return [{"net": "shm", "mode": "real", "backend": "lci",
+                 "threads": 1, "msg_size": 65536, "reg_hits": hits,
+                 "reg_misses": misses, "gb_per_sec": 1.0},
+                {"net": "shm", "mode": "real", "backend": "lci",
+                 "threads": 1, "msg_size": 16, "reg_hits": 0,
+                 "reg_misses": 0, "gb_per_sec": 0.1}]
+
+    with tempfile.TemporaryDirectory() as base, \
+         tempfile.TemporaryDirectory() as warm, \
+         tempfile.TemporaryDirectory() as cold:
+        write(warm, "fig4_bandwidth_shm", fig4_rows(15, 1))
+        write(cold, "fig4_bandwidth_shm", fig4_rows(5, 11))
+
+        print("== self-test: healthy reg-cache hit rate must pass")
+        assert run_check(base, [warm], 0.10, 0.35, 2.0) == 0
+
+        print("== self-test: cold reg-cache hit rate must fail")
+        assert run_check(base, [cold], 0.10, 0.35, 2.0) == 1
+
     print("check_bench self-test: PASS")
     return 0
 
@@ -388,6 +454,9 @@ def main():
                         help="fail on regressions beyond this fraction")
     parser.add_argument("--agg-factor", type=float, default=2.0,
                         help="required best-case lci+agg/lci speedup in fig3")
+    parser.add_argument("--reg-cache-rate", type=float, default=0.90,
+                        help="required steady-state registration-cache hit "
+                             "rate on real-backend fig4 rendezvous rows")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
     if args.self_test:
@@ -395,7 +464,7 @@ def main():
     results_dirs = args.results_dirs or ["build/bench_reports"]
     return run_check(args.baseline_dir, results_dirs,
                      args.warn_threshold, args.fail_threshold,
-                     args.agg_factor)
+                     args.agg_factor, args.reg_cache_rate)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Local multi-process launcher for the real net backends (shm / tcp).
+#
+# Usage:
+#   scripts/launch_local.sh -n <nranks> [-b shm|tcp] [-t <timeout_s>] -- <prog> [args...]
+#
+# Forks <nranks> copies of <prog>, each with the bootstrap environment the
+# backends expect (LCI_BACKEND, LCI_RANK, LCI_NRANKS, LCI_JOB_DIR, LCI_JOB_ID)
+# pointing at a fresh job directory. Waits for all ranks; the exit status is
+# the first nonzero rank status (or 124 on timeout). Cleans up the job
+# directory and any leftover SHM segment, including when ranks crash.
+set -u
+
+nranks=2
+backend=shm
+timeout_s=300
+
+while getopts "n:b:t:h" opt; do
+  case "$opt" in
+    n) nranks="$OPTARG" ;;
+    b) backend="$OPTARG" ;;
+    t) timeout_s="$OPTARG" ;;
+    h|*)
+      sed -n '2,13p' "$0"
+      exit 2
+      ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ "$#" -lt 1 ]; then
+  echo "launch_local.sh: missing program (see -h)" >&2
+  exit 2
+fi
+case "$backend" in
+  shm|tcp) ;;
+  *)
+    echo "launch_local.sh: -b must be shm or tcp (got '$backend')" >&2
+    exit 2
+    ;;
+esac
+if ! [ "$nranks" -ge 1 ] 2>/dev/null; then
+  echo "launch_local.sh: -n must be a positive integer" >&2
+  exit 2
+fi
+
+job_dir=$(mktemp -d "${TMPDIR:-/tmp}/lci-job.XXXXXX")
+job_id=$(basename "$job_dir" | tr -d '.')
+
+cleanup() {
+  # Kill stragglers (e.g. survivors hanging after a fault-test SIGKILL), then
+  # remove the job dir and the SHM segment rank 0 may not have unlinked.
+  for pid in "${pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null
+  done
+  rm -rf "$job_dir"
+  rm -f "/dev/shm/lci-$job_id"
+}
+trap cleanup EXIT
+
+pids=()
+for rank in $(seq 0 $((nranks - 1))); do
+  LCI_BACKEND="$backend" LCI_RANK="$rank" LCI_NRANKS="$nranks" \
+    LCI_JOB_DIR="$job_dir" LCI_JOB_ID="$job_id" "$@" &
+  pids+=($!)
+done
+
+# Bounded wait: poll the ranks so a hung job turns into a clean timeout.
+status=0
+deadline=$(($(date +%s) + timeout_s))
+for i in $(seq 0 $((nranks - 1))); do
+  pid="${pids[$i]}"
+  while kill -0 "$pid" 2>/dev/null; do
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      echo "launch_local.sh: timeout after ${timeout_s}s" >&2
+      exit 124
+    fi
+    sleep 0.2
+  done
+  wait "$pid"
+  rc=$?
+  if [ "$rc" -ne 0 ] && [ "$status" -eq 0 ]; then
+    status=$rc
+    echo "launch_local.sh: rank $i exited with status $rc" >&2
+  fi
+done
+exit "$status"

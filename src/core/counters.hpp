@@ -73,6 +73,14 @@ struct counters_t {
   // or from dead ranks). Like fault_injected, summed over live devices at
   // snapshot time.
   uint64_t wire_dropped = 0;
+  // Registration cache (net/reg_cache.hpp): acquire()s served by a resident
+  // interval, acquires that had to register with the fabric, and idle entries
+  // retired by LRU pressure. Read from the runtime's cache at snapshot time
+  // (not counter cells, so reset_counters does not clear them); all zero when
+  // the cache is disabled (reg_cache_entries = 0).
+  uint64_t reg_cache_hits = 0;
+  uint64_t reg_cache_misses = 0;
+  uint64_t reg_cache_evictions = 0;
 };
 
 namespace detail {

@@ -43,8 +43,7 @@ void finish_failed_recv(runtime_impl_t* runtime, rdv_recv_t& recv,
   if (recv.record)
     recv.record->state.store(op_record_t::st_terminal,
                              std::memory_order_release);
-  if (recv.mr != net::invalid_mr)
-    runtime->net_context().deregister_memory(recv.mr);
+  if (recv.mr != net::invalid_mr) runtime->reg_release(recv.mr);
   void* user_buffer = recv.buffer;
   if (!recv.list.empty() || recv.runtime_owned_buffer) {
     // Runtime staging (buffer-list landing area or large-AM malloc): the

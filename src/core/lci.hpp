@@ -265,9 +265,35 @@ inline std::size_t device_shards_env_default() {
   return value;
 }
 
+// Environment default for the registration cache capacity
+// (runtime_attr_t::reg_cache_entries): LCI_REG_CACHE=N entries, 0 disables.
+inline std::size_t reg_cache_env_default() {
+  static const std::size_t value = []() -> std::size_t {
+    const char* env = std::getenv("LCI_REG_CACHE");
+    if (env == nullptr || env[0] == '\0') return 128;
+    const long parsed = std::atol(env);
+    return parsed >= 0 ? static_cast<std::size_t>(parsed) : 128;
+  }();
+  return value;
+}
+
 }  // namespace detail
 
 struct runtime_attr_t {
+  // Network backend hosting this process's rank (net/net.hpp): sim (in-process
+  // simulated ranks, the default), shm (POSIX shared-memory rings across
+  // processes), or tcp (loopback sockets). Only consulted when the calling
+  // thread is not already bound to a rank — the first init on an unbound
+  // thread creates the process's fabric endpoint from it; afterwards (and
+  // under sim::spawn bindings) the existing fabric wins and get_attr reports
+  // its actual kind. Defaults to LCI_BACKEND, which is how
+  // scripts/launch_local.sh selects the transport per job.
+  net::backend_t backend = net::backend_env_default();
+  // Registration-cache capacity in entries (net/reg_cache.hpp): internal
+  // rendezvous registrations are served from a refcounted LRU cache of live
+  // registered intervals instead of hitting the fabric every transfer.
+  // 0 disables the cache. Defaults to LCI_REG_CACHE.
+  std::size_t reg_cache_entries = detail::reg_cache_env_default();
   // Payload capacity of a packet; also the eager/rendezvous threshold for
   // send-receive and active messages.
   std::size_t packet_size = 4096;
@@ -398,6 +424,16 @@ class alloc_runtime_x {
   // Shards per device (runtime_attr_t::device_shards).
   alloc_runtime_x& device_shards(std::size_t v) {
     attr_.device_shards = v;
+    return *this;
+  }
+  // Network backend (runtime_attr_t::backend).
+  alloc_runtime_x& backend(net::backend_t v) {
+    attr_.backend = v;
+    return *this;
+  }
+  // Registration-cache capacity (runtime_attr_t::reg_cache_entries).
+  alloc_runtime_x& reg_cache_entries(std::size_t v) {
+    attr_.reg_cache_entries = v;
     return *this;
   }
   // Operation-lifecycle tracing (runtime_attr_t::trace and friends).

@@ -146,7 +146,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     // region; land in runtime staging and scatter at FIN.
     state.buffer = std::malloc(state.size ? state.size : 1);
   }
-  state.mr = runtime->net_context().register_memory(state.buffer, state.size);
+  state.mr = runtime->reg_acquire(state.buffer, state.size);
   const net::mr_id_t mr = state.mr;
   std::shared_ptr<op_record_t> record = state.record;
   const uint64_t span_id = state.span.id;
@@ -525,7 +525,7 @@ bool device_impl_t::handle_cqe(const net::cqe_t& cqe) {
                                     std::memory_order_release);
         trace::instant(trace::kind_t::fin, state.span.id, state.peer_rank,
                        state.tag, state.size);
-        runtime_->net_context().deregister_memory(state.mr);
+        runtime_->reg_release(state.mr);
         status_t status;
         status.error.code = errorcode_t::done;
         status.rank = state.peer_rank;

@@ -11,9 +11,21 @@
 
 namespace lci::detail {
 
+namespace {
+
+// get_attr must report the backend actually hosting the rank, which can
+// differ from the request when the thread was already bound (sim::spawn
+// worlds, a second runtime on a real-backend process).
+runtime_attr_t stamp_backend(runtime_attr_t attr, const net::fabric_t& fabric) {
+  attr.backend = fabric.kind();
+  return attr;
+}
+
+}  // namespace
+
 runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
                                const runtime_attr_t& attr)
-    : attr_(attr),
+    : attr_(stamp_backend(attr, *fabric)),
       fabric_(std::move(fabric)),
       net_context_(fabric_->create_context(rank)),
       rank_(rank),
@@ -24,6 +36,9 @@ runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
     throw fatal_error_t("max_inject_size must not exceed the eager threshold");
   if (attr_.max_inject_size > 512)
     throw fatal_error_t("max_inject_size is limited to 512 bytes");
+  if (attr_.reg_cache_entries > 0)
+    reg_cache_ = std::make_unique<net::reg_cache_t>(net_context_.get(),
+                                                    attr_.reg_cache_entries);
   default_pool_ = std::make_unique<packet_pool_impl_t>(attr_.npackets,
                                                        attr_.packet_size);
   default_engine_ =
@@ -170,6 +185,12 @@ counters_t get_counters(runtime_t runtime) {
   counters_t c = rt->counters().snapshot();
   c.fault_injected = rt->injected_faults();
   c.wire_dropped = rt->dropped_wire_messages();
+  if (net::reg_cache_t* cache = rt->reg_cache()) {
+    const net::reg_cache_t::stats_t stats = cache->stats();
+    c.reg_cache_hits = stats.hits;
+    c.reg_cache_misses = stats.misses;
+    c.reg_cache_evictions = stats.evictions;
+  }
   return c;
 }
 

@@ -19,6 +19,7 @@
 #include "core/progress_engine.hpp"
 #include "core/protocol.hpp"
 #include "net/net.hpp"
+#include "net/reg_cache.hpp"
 #include "util/cacheline.hpp"
 #include "util/mpmc_array.hpp"
 #include "util/spinlock.hpp"
@@ -590,6 +591,23 @@ class runtime_impl_t {
 
   detail::counter_block_t& counters() noexcept { return counters_; }
 
+  // Registration bracket for the runtime's *internal* MRs (rendezvous
+  // receive targets): served from the registration cache when one is
+  // configured, direct fabric calls otherwise. User-facing register_memory
+  // stays direct — its rmr token must stay valid until the user deregisters,
+  // which an LRU cache cannot promise.
+  net::mr_id_t reg_acquire(void* base, std::size_t size) {
+    return reg_cache_ != nullptr ? reg_cache_->acquire(base, size)
+                                 : net_context_->register_memory(base, size);
+  }
+  void reg_release(net::mr_id_t id) {
+    if (reg_cache_ != nullptr)
+      reg_cache_->release(id);
+    else
+      net_context_->deregister_memory(id);
+  }
+  net::reg_cache_t* reg_cache() noexcept { return reg_cache_.get(); }
+
   const net::config_t& net_config() const noexcept {
     return fabric_->config();
   }
@@ -648,6 +666,9 @@ class runtime_impl_t {
   const runtime_attr_t attr_;
   std::shared_ptr<net::fabric_t> fabric_;
   std::unique_ptr<net::context_t> net_context_;
+  // Declared after net_context_ (so it is destroyed first: its destructor
+  // deregisters every resident entry through the context).
+  std::unique_ptr<net::reg_cache_t> reg_cache_;
   const int rank_;
   const int nranks_;
 

@@ -17,13 +17,56 @@ binding_t& tls_binding() {
   return binding;
 }
 
-binding_t ensure_binding() {
-  binding_t& binding = tls_binding();
+namespace {
+
+// Real backends (shm/tcp) host exactly one rank per process, so their binding
+// is process-global: every thread of the process belongs to the same rank and
+// shares one fabric endpoint. (sim keeps per-thread bindings — that is how
+// threads impersonate distinct ranks in one process.)
+std::mutex& process_binding_lock() {
+  static std::mutex lock;
+  return lock;
+}
+
+binding_t& process_binding_slot() {
+  static binding_t binding;
+  return binding;
+}
+
+binding_t process_binding(net::backend_t backend) {
+  std::lock_guard<std::mutex> guard(process_binding_lock());
+  binding_t& binding = process_binding_slot();
   if (!binding) {
     auto ctx = std::make_shared<rank_ctx_t>();
-    ctx->fabric = net::create_sim_fabric(1);
-    ctx->rank = 0;
+    ctx->fabric = net::create_fabric(backend);
+    ctx->rank = net::bootstrap_rank();
     binding = ctx;
+  } else if (binding->fabric->kind() != backend) {
+    throw fatal_error_t("LCI_BACKEND changed after the fabric was created");
+  }
+  return binding;
+}
+
+}  // namespace
+
+binding_t process_binding_if_any() {
+  std::lock_guard<std::mutex> guard(process_binding_lock());
+  return process_binding_slot();
+}
+
+binding_t ensure_binding(net::backend_t backend) {
+  binding_t& binding = tls_binding();
+  if (!binding) {
+    if (backend == net::backend_t::sim) {
+      // Implicit single-rank sim world, per thread (threads may impersonate
+      // separate ranks, so an unbound thread gets its own world).
+      auto ctx = std::make_shared<rank_ctx_t>();
+      ctx->fabric = net::create_sim_fabric(1);
+      ctx->rank = 0;
+      binding = ctx;
+    } else {
+      binding = process_binding(backend);
+    }
   }
   return binding;
 }
@@ -59,7 +102,15 @@ binding_t world_t::binding(int rank) const {
 
 void bind(binding_t binding) { detail_sim::tls_binding() = std::move(binding); }
 
-binding_t current_binding() { return detail_sim::tls_binding(); }
+binding_t current_binding() {
+  binding_t binding = detail_sim::tls_binding();
+  if (binding) return binding;
+  // TLS miss: under a real backend, every thread of the process belongs to
+  // the one process-wide rank — worker threads that never called bind() (or
+  // any init function) still reach the runtime. Under sim there is no such
+  // process-wide rank, so the miss stays a miss.
+  return detail_sim::process_binding_if_any();
+}
 
 void spawn(int nranks, const std::function<void(int rank)>& fn,
            const net::config_t& config) {
@@ -92,7 +143,7 @@ namespace lci {
 // ---------------------------------------------------------------------------
 
 runtime_t g_runtime_init(const runtime_attr_t& attr) {
-  auto binding = sim::detail_sim::ensure_binding();
+  auto binding = sim::detail_sim::ensure_binding(attr.backend);
   std::lock_guard<util::spinlock_t> guard(binding->lock);
   if (binding->g_refcount++ == 0) {
     binding->g_runtime.p =
@@ -121,7 +172,7 @@ runtime_t get_g_runtime() {
 }
 
 runtime_t alloc_runtime(const runtime_attr_t& attr) {
-  auto binding = sim::detail_sim::ensure_binding();
+  auto binding = sim::detail_sim::ensure_binding(attr.backend);
   runtime_t runtime;
   runtime.p = new detail::runtime_impl_t(binding->fabric, binding->rank, attr);
   return runtime;

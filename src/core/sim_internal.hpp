@@ -20,8 +20,17 @@ struct rank_ctx_t {
 // Binding of the calling thread; null when unbound.
 binding_t& tls_binding();
 
-// Binding of the calling thread, creating an implicit single-rank world when
-// unbound (so single-process quickstarts need no explicit bootstrap).
-binding_t ensure_binding();
+// Binding of the calling thread. When unbound, consults the requested
+// backend (runtime_attr_t::backend, whose default is LCI_BACKEND): sim
+// creates an implicit single-rank world (so single-process quickstarts need
+// no explicit bootstrap); shm/tcp attach the process-global binding for the
+// rank described by the launcher environment, creating its fabric endpoint
+// on first use.
+binding_t ensure_binding(net::backend_t backend);
+
+// The process-global real-backend binding, or null if none was created.
+// current_binding() falls back to this on a TLS miss so worker threads that
+// never bound explicitly still reach the process's rank under shm/tcp.
+binding_t process_binding_if_any();
 
 }  // namespace lci::sim::detail_sim

@@ -1,0 +1,74 @@
+// Backend selection: names, the LCI_BACKEND environment default, and the
+// generic fabric factory dispatching to sim / shm / tcp.
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "net/bootstrap.hpp"
+#include "net/ep_common.hpp"
+#include "net/net.hpp"
+
+namespace lci::net {
+
+const char* to_string(backend_t backend) noexcept {
+  switch (backend) {
+    case backend_t::sim:
+      return "sim";
+    case backend_t::shm:
+      return "shm";
+    case backend_t::tcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+bool backend_from_string(const char* name, backend_t* out) noexcept {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "sim") == 0) {
+    *out = backend_t::sim;
+    return true;
+  }
+  if (std::strcmp(name, "shm") == 0) {
+    *out = backend_t::shm;
+    return true;
+  }
+  if (std::strcmp(name, "tcp") == 0) {
+    *out = backend_t::tcp;
+    return true;
+  }
+  return false;
+}
+
+backend_t backend_env_default() {
+  const char* env = std::getenv("LCI_BACKEND");
+  if (env == nullptr || env[0] == '\0') return backend_t::sim;
+  backend_t backend;
+  if (!backend_from_string(env, &backend))
+    throw std::runtime_error(
+        std::string("LCI_BACKEND must be sim, shm, or tcp (got \"") + env +
+        "\")");
+  return backend;
+}
+
+int bootstrap_rank() { return bootstrap::rank(); }
+int bootstrap_nranks() { return bootstrap::nranks(); }
+
+std::shared_ptr<fabric_t> create_fabric(backend_t backend,
+                                        const config_t& config) {
+  switch (backend) {
+    case backend_t::sim:
+      // One in-process rank; multi-rank sim worlds are built explicitly via
+      // create_sim_fabric (lci::sim::world_t).
+      return create_sim_fabric(1, config);
+    case backend_t::shm:
+      return detail::create_shm_fabric(bootstrap::rank(), bootstrap::nranks(),
+                                       config);
+    case backend_t::tcp:
+      return detail::create_tcp_fabric(bootstrap::rank(), bootstrap::nranks(),
+                                       config);
+  }
+  throw std::runtime_error("create_fabric: unknown backend");
+}
+
+}  // namespace lci::net

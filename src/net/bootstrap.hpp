@@ -1,0 +1,52 @@
+// File-based bootstrap for the real multi-process backends (the stand-in for
+// the paper's PMI bootstrapping, like upstream LCI's bootstrap/pmi layer).
+//
+// A "job" is N processes launched by scripts/launch_local.sh, which exports
+// for each rank:
+//
+//   LCI_BACKEND  = shm | tcp
+//   LCI_RANK     = 0..N-1
+//   LCI_NRANKS   = N
+//   LCI_JOB_DIR  = a fresh directory shared by all ranks of the job
+//   LCI_JOB_ID   = a short unique token (names the SHM segment)
+//
+// The job directory implements a tiny key-value store (publish/lookup, used
+// by the TCP backend to exchange listen ports) and a counted barrier. Both
+// are plain files: put() writes atomically (temp file + rename), get() polls
+// for the key, barrier() creates a per-rank marker and waits for all N. Every
+// wait is bounded by a timeout so a crashed rank turns into a clean fatal
+// error instead of a hang.
+//
+// Single-process use (LCI_NRANKS unset or 1) needs no job directory: get()
+// reads back this process's own put()s and barrier() returns immediately.
+#pragma once
+
+#include <string>
+
+namespace lci::net::bootstrap {
+
+// Rank / size of the calling process (env LCI_RANK / LCI_NRANKS; 0 / 1 when
+// unset). Throws fatal on inconsistent values (rank outside [0, nranks)).
+int rank();
+int nranks();
+
+// Job directory (env LCI_JOB_DIR; empty when unset). Required when
+// nranks() > 1 — the KV store and barrier live there.
+std::string job_dir();
+
+// Short unique job token for global-namespace names (the SHM segment). Env
+// LCI_JOB_ID when set, otherwise derived from the job directory path, and
+// from the PID for single-process jobs.
+std::string job_id();
+
+// Key-value publish / lookup. Keys must be short and filename-safe
+// ([A-Za-z0-9._-]); values are opaque strings.
+void put(const std::string& key, const std::string& value);
+// Blocks until the key appears; throws fatal after timeout_ms.
+std::string get(const std::string& key, int timeout_ms = 30000);
+
+// Counted barrier over all ranks of the job. Reusable: each call site name
+// carries an internal epoch, so the same name may be used repeatedly.
+void barrier(const std::string& name, int timeout_ms = 30000);
+
+}  // namespace lci::net::bootstrap

@@ -32,6 +32,19 @@
 // mailboxes (lock-free FAA queues standing in for NIC DMA engines, so the
 // wire adds no host-lock contention), and RDMA write/read directly access
 // remote *registered* memory with bounds checks.
+//
+// Beyond the simulation, two *real* multi-process backends implement the same
+// contract (see docs/INTERNALS.md "Net backends"):
+//
+//  * backend_t::shm — per-peer ring buffers in a POSIX shared-memory segment
+//    with futex doorbells; peer death is a tombstone word in the segment.
+//  * backend_t::tcp — nonblocking loopback sockets, length-prefixed framing,
+//    a writev-style sender and an epoll-driven ingress pump; peer death is a
+//    hangup / ECONNRESET on the connection.
+//
+// Both are selected per process with the runtime attr `backend` (env default
+// LCI_BACKEND) and bootstrapped from LCI_RANK / LCI_NRANKS / LCI_JOB_DIR —
+// the environment scripts/launch_local.sh sets up for each forked rank.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +55,18 @@ namespace lci::net {
 
 using mr_id_t = uint32_t;
 inline constexpr mr_id_t invalid_mr = ~uint32_t{0};
+
+// Which transport implements the fabric contract below.
+enum class backend_t : uint8_t { sim, shm, tcp };
+
+const char* to_string(backend_t backend) noexcept;
+// Parses "sim" / "shm" / "tcp" (case-sensitive). Returns false on anything
+// else; *out is untouched then.
+bool backend_from_string(const char* name, backend_t* out) noexcept;
+// LCI_BACKEND environment default ("" / unset = sim). Throws fatal on an
+// unknown value — a typo silently falling back to sim would "pass" a
+// multi-process job without any processes talking to each other.
+backend_t backend_env_default();
 
 enum class lock_model_t : uint8_t { ibv, ofi };
 enum class td_strategy_t : uint8_t { per_qp, all_qp, none };
@@ -219,11 +244,15 @@ class context_t {
 class fabric_t {
  public:
   virtual ~fabric_t() = default;
+  virtual backend_t kind() const = 0;
   virtual int nranks() const = 0;
   virtual const config_t& config() const = 0;
   virtual std::unique_ptr<context_t> create_context(int rank) = 0;
   // Test hook: kills a rank at runtime, independent of the kill schedule.
   // Returns false if the backend cannot (or the rank is already dead).
+  // sim and shm kill any rank fabric-wide; tcp only supports killing the
+  // calling process's own rank (remote death there is a real process death,
+  // observed as a connection hangup).
   virtual bool kill_rank(int rank) {
     (void)rank;
     return false;
@@ -233,5 +262,17 @@ class fabric_t {
 // Factory for the simulated fabric.
 std::shared_ptr<fabric_t> create_sim_fabric(int nranks,
                                             const config_t& config = {});
+
+// Rank / size of the calling process per the bootstrap environment
+// (LCI_RANK / LCI_NRANKS; 0 / 1 when unset).
+int bootstrap_rank();
+int bootstrap_nranks();
+
+// Generic factory. For sim this is a single-rank in-process fabric (threads
+// join ranks via lci::sim::world_t instead); for shm/tcp it builds the
+// calling process's endpoint of the job described by the bootstrap
+// environment and blocks until all ranks have connected.
+std::shared_ptr<fabric_t> create_fabric(backend_t backend,
+                                        const config_t& config = {});
 
 }  // namespace lci::net

@@ -1,0 +1,121 @@
+#include "net/reg_cache.hpp"
+
+#include <mutex>
+
+namespace lci::net {
+
+reg_cache_t::~reg_cache_t() {
+  // Deregister whatever is resident. Entries still referenced at teardown
+  // are a caller bug (a release was lost); deregistering anyway keeps the
+  // fabric's MR table clean for the teardown-order audit.
+  for (const auto& kv : by_base_) context_->deregister_memory(kv.second.mr);
+}
+
+mr_id_t reg_cache_t::acquire(void* base, std::size_t size) {
+  if (capacity_ == 0) return context_->register_memory(base, size);
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(base);
+  std::unique_lock<util::spinlock_t> guard(lock_);
+  // Covering interval: the greatest entry starting at or below `lo`.
+  auto it = by_base_.upper_bound(lo);
+  if (it != by_base_.begin()) {
+    --it;
+    entry_t& entry = it->second;
+    const uintptr_t entry_lo = reinterpret_cast<uintptr_t>(entry.base);
+    if (lo >= entry_lo && lo - entry_lo + size <= entry.size) {
+      ++entry.refs;
+      ++hits_;
+      return entry.mr;
+    }
+  }
+  // An idle entry at the same base that is too small blocks the slot —
+  // retire it and register the larger range in its place. A *referenced*
+  // blocking entry cannot be retired; spill to an uncached registration.
+  auto same = by_base_.find(lo);
+  if (same != by_base_.end()) {
+    if (same->second.refs != 0) {
+      ++misses_;
+      guard.unlock();
+      return context_->register_memory(base, size);
+    }
+    context_->deregister_memory(same->second.mr);
+    by_mr_.erase(same->second.mr);
+    by_base_.erase(same);
+    ++evictions_;
+  }
+  ++misses_;
+  guard.unlock();
+  // Register outside the lock: the fabric call may take its own locks and
+  // nothing below depends on the map staying unchanged meanwhile.
+  const mr_id_t mr = context_->register_memory(base, size);
+  guard.lock();
+  entry_t entry;
+  entry.base = base;
+  entry.size = size;
+  entry.mr = mr;
+  entry.refs = 1;
+  auto inserted = by_base_.emplace(lo, entry);
+  if (!inserted.second) {
+    // Lost a race for the slot while unlocked; keep ours as uncached.
+    return mr;
+  }
+  by_mr_.emplace(mr, lo);
+  if (by_base_.size() > capacity_) evict_lru_locked();
+  return mr;
+}
+
+void reg_cache_t::release(mr_id_t id) {
+  if (capacity_ != 0) {
+    std::unique_lock<util::spinlock_t> guard(lock_);
+    auto it = by_mr_.find(id);
+    if (it != by_mr_.end()) {
+      entry_t& entry = by_base_.at(it->second);
+      if (entry.refs > 0) --entry.refs;
+      if (entry.refs == 0) entry.last_use = ++tick_;
+      return;  // stays resident for reuse
+    }
+  }
+  // Unknown to the cache: a direct or spilled registration.
+  context_->deregister_memory(id);
+}
+
+void reg_cache_t::flush() {
+  std::unique_lock<util::spinlock_t> guard(lock_);
+  for (auto it = by_base_.begin(); it != by_base_.end();) {
+    if (it->second.refs == 0) {
+      context_->deregister_memory(it->second.mr);
+      by_mr_.erase(it->second.mr);
+      it = by_base_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+reg_cache_t::stats_t reg_cache_t::stats() const {
+  std::unique_lock<util::spinlock_t> guard(lock_);
+  stats_t out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.entries = by_base_.size();
+  return out;
+}
+
+void reg_cache_t::evict_lru_locked() {
+  while (by_base_.size() > capacity_) {
+    auto victim = by_base_.end();
+    for (auto it = by_base_.begin(); it != by_base_.end(); ++it) {
+      if (it->second.refs != 0) continue;
+      if (victim == by_base_.end() ||
+          it->second.last_use < victim->second.last_use)
+        victim = it;
+    }
+    if (victim == by_base_.end()) return;  // everything referenced; overfull
+    context_->deregister_memory(victim->second.mr);
+    by_mr_.erase(victim->second.mr);
+    by_base_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace lci::net

@@ -1,0 +1,88 @@
+// Memory-registration cache.
+//
+// Registration (pinning) is the most expensive verb on a real NIC — the
+// paper's rendezvous path pays it per transfer unless registrations are
+// reused. This cache sits between the runtime's internal rendezvous
+// registrations and the fabric: acquire() returns a cached MR when an
+// existing registered interval covers the requested range (a *hit*, no
+// fabric call), and registers + inserts otherwise (a *miss*). Entries are
+// refcounted; release() drops a reference, and entries at zero references
+// stay resident for reuse until capacity forces LRU eviction (which is when
+// the underlying deregistration actually happens).
+//
+// Buffers that bypass the cache still flow through release(): an MR id the
+// cache has never seen is deregistered directly (uncached passthrough), so
+// callers need not know how a given id was obtained. capacity 0 disables
+// caching entirely — acquire degenerates to register, release to deregister,
+// and no statistics are counted.
+//
+// The cache assumes a single owner of the registered ranges (the runtime):
+// it does not watch for the memory being freed or remapped behind it, which
+// is the classic registration-cache hazard. That is acceptable here because
+// the runtime only caches registrations for buffers whose lifetime it
+// brackets (rendezvous posts release before completion is delivered).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/net.hpp"
+#include "util/spinlock.hpp"
+
+namespace lci::net {
+
+class reg_cache_t {
+ public:
+  struct stats_t {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;  // resident entries (referenced + idle)
+  };
+
+  // `context` must outlive the cache. `capacity` is the maximum number of
+  // resident entries (0 = caching off).
+  reg_cache_t(context_t* context, std::size_t capacity)
+      : context_(context), capacity_(capacity) {}
+  ~reg_cache_t();
+
+  reg_cache_t(const reg_cache_t&) = delete;
+  reg_cache_t& operator=(const reg_cache_t&) = delete;
+
+  // MR covering [base, base + size). Hit: a resident interval covers the
+  // range (its refcount rises). Miss: registers with the fabric and inserts.
+  mr_id_t acquire(void* base, std::size_t size);
+
+  // Drops one reference. Ids not owned by the cache (capacity 0, direct
+  // registrations, collision spills) are deregistered immediately.
+  void release(mr_id_t id);
+
+  // Deregisters every idle (refcount 0) entry. Referenced entries stay.
+  void flush();
+
+  stats_t stats() const;
+
+ private:
+  struct entry_t {
+    void* base = nullptr;
+    std::size_t size = 0;
+    mr_id_t mr = invalid_mr;
+    uint32_t refs = 0;
+    uint64_t last_use = 0;  // LRU stamp, meaningful while refs == 0
+  };
+
+  void evict_lru_locked();
+
+  context_t* const context_;
+  const std::size_t capacity_;
+
+  mutable util::spinlock_t lock_;
+  std::map<uintptr_t, entry_t> by_base_;
+  std::map<mr_id_t, uintptr_t> by_mr_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace lci::net

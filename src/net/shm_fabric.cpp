@@ -1,0 +1,433 @@
+// SHM backend: per-peer ring buffers in one POSIX shared-memory segment.
+//
+// Segment layout (created and initialized by rank 0, attached by the rest):
+//
+//   [segment header]  magic / nranks / ring capacity / ready flag /
+//                     fabric-wide death epoch
+//   [rank slots]      per rank: pid, tombstone word, futex doorbell word
+//   [rings]           nranks * nranks SPSC byte rings; ring(src, dst) carries
+//                     frames from process src to process dst
+//
+// Each ring is a power-of-two byte buffer with head (consumer) / tail
+// (producer) offsets. Only process `src` produces into ring(src, dst) — a
+// process-local per-destination lock serializes its threads — and only
+// process `dst` consumes, under the fabric pump lock. Frames are contiguous:
+// a frame that would straddle the end of the buffer is preceded by a `wrap`
+// filler record, so payloads never need scatter-gather.
+//
+// Doorbells: after pushing, the producer bumps the destination's doorbell
+// word and FUTEX_WAKEs it. A fabric-owned listener thread FUTEX_WAITs on the
+// local word and rings every registered device doorbell on each bump — the
+// cross-process analogue of the sim's direct doorbell ring.
+//
+// Peer death: kill_rank (any rank, from any process) sets the victim's
+// tombstone word and bumps the shared death epoch — every process observes
+// both on its next pump. A rank killed by the OS (kill -9) cannot write its
+// tombstone, so liveness is additionally probed with kill(pid, 0): on every
+// ring-full bounce and periodically during the pump. ESRCH converts to a
+// tombstone exactly as an explicit kill would.
+#include "net/ep_common.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
+#include "net/bootstrap.hpp"
+
+namespace lci::net::detail {
+
+namespace {
+
+constexpr uint64_t shm_magic = 0x4c43495f53484d31ull;  // "LCI_SHM1"
+
+void futex_wake_all(std::atomic<uint32_t>* word) {
+#ifdef __linux__
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAKE, INT32_MAX,
+            nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+void futex_wait(std::atomic<uint32_t>* word, uint32_t expected,
+                long timeout_ms) {
+#ifdef __linux__
+  struct timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = (timeout_ms % 1000) * 1000000L;
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAIT, expected,
+            &ts, nullptr, 0);
+#else
+  (void)word;
+  (void)expected;
+  std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+#endif
+}
+
+struct alignas(64) shm_rank_slot_t {
+  std::atomic<int32_t> pid;
+  std::atomic<uint32_t> tombstone;
+  std::atomic<uint32_t> doorbell;
+};
+
+struct alignas(64) shm_ring_hdr_t {
+  alignas(64) std::atomic<uint64_t> head;  // consumer offset (monotonic)
+  alignas(64) std::atomic<uint64_t> tail;  // producer offset (monotonic)
+};
+
+struct shm_seg_hdr_t {
+  uint64_t magic;
+  int32_t nranks;
+  uint32_t reserved;
+  uint64_t ring_bytes;
+  std::atomic<uint32_t> ready;
+  std::atomic<uint64_t> death_epoch;
+};
+
+std::size_t round_pow2(std::size_t v) {
+  std::size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t env_ring_bytes() {
+  const char* env = std::getenv("LCI_SHM_RING_KB");
+  const long kb = env != nullptr && env[0] != '\0' ? std::atol(env) : 1024;
+  return round_pow2(static_cast<std::size_t>(kb > 0 ? kb : 1024) * 1024);
+}
+
+class shm_fabric_t final : public ep_fabric_t {
+ public:
+  shm_fabric_t(int self_rank, int nranks, const config_t& config)
+      : ep_fabric_t(self_rank, nranks, config),
+        ring_bytes_(env_ring_bytes()),
+        seg_name_("/lci-" + bootstrap::job_id()) {
+    max_chunk_bytes_ = std::min<std::size_t>(max_chunk_bytes_, ring_bytes_ / 4);
+    producer_locks_.reset(
+        new util::spinlock_t[static_cast<std::size_t>(nranks)]);
+    attach();
+    bootstrap::barrier("shm-attach");
+    start_listener();
+  }
+
+  ~shm_fabric_t() override {
+    stop_listener();
+    if (lock_fd_ >= 0) ::close(lock_fd_);
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    // Rank 0 owns the name. A crashed rank 0 leaves the segment behind;
+    // scripts/launch_local.sh removes it when the job exits.
+    if (self_ == 0) ::shm_unlink(seg_name_.c_str());
+  }
+
+  backend_t kind() const override { return backend_t::shm; }
+
+  bool is_dead(int rank) const override {
+    return slot(rank)->tombstone.load(std::memory_order_acquire) != 0;
+  }
+
+  uint64_t death_epoch() const override {
+    return header()->death_epoch.load(std::memory_order_acquire);
+  }
+
+  bool kill_rank(int rank) override {
+    if (rank < 0 || rank >= nranks_) return false;
+    return tombstone(rank);
+  }
+
+  push_status_t push_frame(int peer, const frame_header_t& header,
+                           const char* payload) override {
+    const std::size_t need =
+        align8(sizeof(frame_header_t) + header.payload_size);
+    std::lock_guard<util::spinlock_t> guard(
+        producer_locks_[static_cast<std::size_t>(peer)]);
+    shm_ring_hdr_t* ring = ring_hdr(self_, peer);
+    char* data = ring_data(self_, peer);
+    const std::size_t cap = ring_bytes_;
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+    std::size_t off = static_cast<std::size_t>(tail) & (cap - 1);
+    std::size_t pad = 0;
+    if (need > cap - off) pad = cap - off;  // frame must not straddle the end
+    if (cap - static_cast<std::size_t>(tail - head) < pad + need) {
+      // Full. A dead consumer's ring never drains — probe it now so the
+      // bounce converts to peer_down instead of a retry livelock.
+      probe_peer(peer);
+      return is_dead(peer) ? push_status_t::down : push_status_t::full;
+    }
+    if (pad != 0) {
+      if (pad >= sizeof(frame_header_t)) {
+        frame_header_t wrap{};
+        wrap.payload_size =
+            static_cast<uint32_t>(pad - sizeof(frame_header_t));
+        wrap.kind = static_cast<uint8_t>(frame_kind_t::wrap);
+        std::memcpy(data + off, &wrap, sizeof(wrap));
+      }
+      // pad < header size: the consumer skips the remainder implicitly.
+      tail += pad;
+      off = 0;
+    }
+    std::memcpy(data + off, &header, sizeof(header));
+    if (header.payload_size != 0)
+      std::memcpy(data + off + sizeof(frame_header_t), payload,
+                  header.payload_size);
+    ring->tail.store(tail + need, std::memory_order_release);
+    // Doorbell: bump + wake the consumer process's listener.
+    shm_rank_slot_t* s = slot(peer);
+    s->doorbell.fetch_add(1, std::memory_order_release);
+    futex_wake_all(&s->doorbell);
+    return push_status_t::ok;
+  }
+
+  void pump(std::size_t burst) override {
+    if (++pump_calls_ % 4096 == 0) probe_all_peers();
+    std::vector<char> copy;
+    for (int src = 0; src < nranks_; ++src) {
+      if (src == self_) continue;
+      const bool src_dead = is_dead(src);
+      shm_ring_hdr_t* ring = ring_hdr(src, self_);
+      char* data = ring_data(src, self_);
+      const std::size_t cap = ring_bytes_;
+      uint64_t head = ring->head.load(std::memory_order_relaxed);
+      for (std::size_t n = 0; n < burst; ++n) {
+        const uint64_t tail = ring->tail.load(std::memory_order_acquire);
+        if (head == tail) break;
+        std::size_t off = static_cast<std::size_t>(head) & (cap - 1);
+        if (cap - off < sizeof(frame_header_t)) {
+          head += cap - off;  // implicit pad at the very end of the buffer
+          off = 0;
+          if (head == tail) break;
+        }
+        frame_header_t header;
+        std::memcpy(&header, data + off, sizeof(header));
+        const std::size_t need =
+            align8(sizeof(frame_header_t) + header.payload_size);
+        if (static_cast<frame_kind_t>(header.kind) == frame_kind_t::wrap) {
+          head += need;
+          ring->head.store(head, std::memory_order_release);
+          continue;
+        }
+        // Copy out before advancing head: dispatch may block on device
+        // locks and the producer must be able to reuse the space only after
+        // we are done with the bytes.
+        const char* payload = data + off + sizeof(frame_header_t);
+        if (src_dead) {
+          head += need;
+          ring->head.store(head, std::memory_order_release);
+          continue;  // evaporates; dispatch would drop it anyway
+        }
+        copy.assign(payload, payload + header.payload_size);
+        head += need;
+        dispatch_frame(header, copy.data());
+        ring->head.store(head, std::memory_order_release);
+      }
+    }
+  }
+
+ private:
+  static std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+  shm_seg_hdr_t* header() const {
+    return reinterpret_cast<shm_seg_hdr_t*>(map_);
+  }
+  shm_rank_slot_t* slot(int rank) const {
+    return reinterpret_cast<shm_rank_slot_t*>(
+               static_cast<char*>(map_) + slots_off_) +
+           rank;
+  }
+  shm_ring_hdr_t* ring_hdr(int src, int dst) const {
+    return reinterpret_cast<shm_ring_hdr_t*>(
+        static_cast<char*>(map_) + rings_off_ +
+        static_cast<std::size_t>(src * nranks_ + dst) * ring_stride_);
+  }
+  char* ring_data(int src, int dst) const {
+    return reinterpret_cast<char*>(ring_hdr(src, dst)) + sizeof(shm_ring_hdr_t);
+  }
+
+  bool tombstone(int rank) {
+    uint32_t expected = 0;
+    if (!slot(rank)->tombstone.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel))
+      return false;
+    header()->death_epoch.fetch_add(1, std::memory_order_release);
+    // Wake every rank's listener so sleeping progress engines purge.
+    for (int r = 0; r < nranks_; ++r) {
+      slot(r)->doorbell.fetch_add(1, std::memory_order_release);
+      futex_wake_all(&slot(r)->doorbell);
+    }
+    return true;
+  }
+
+  // Liveness: each rank holds an exclusive flock on <job_dir>/alive-<rank>
+  // for its whole life (taken before the attach barrier, so every peer's lock
+  // exists before anyone probes). The kernel releases the lock on ANY death —
+  // including SIGKILL, and including the zombie window before the launcher
+  // reaps the process, where a kill(pid, 0) probe would still say "alive".
+  // The pid check stays as a cheap first test (ESRCH is definitive).
+  void probe_peer(int rank) {
+    if (rank == self_ || is_dead(rank)) return;
+    const int32_t pid = slot(rank)->pid.load(std::memory_order_acquire);
+    if (pid <= 0) return;  // not attached yet
+    if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+      tombstone(rank);
+      return;
+    }
+    if (lock_dir_.empty()) return;
+    const std::string path = lock_dir_ + "/alive-" + std::to_string(rank);
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) return;
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) tombstone(rank);
+    ::close(fd);  // releases the probe's lock if it got one
+  }
+
+  void probe_all_peers() {
+    for (int r = 0; r < nranks_; ++r) probe_peer(r);
+  }
+
+  void attach() {
+    const std::size_t hdr_bytes = align_up(sizeof(shm_seg_hdr_t), 64);
+    const std::size_t slots_bytes =
+        align_up(sizeof(shm_rank_slot_t) * static_cast<std::size_t>(nranks_),
+                 64);
+    ring_stride_ = sizeof(shm_ring_hdr_t) + ring_bytes_;
+    slots_off_ = hdr_bytes;
+    rings_off_ = hdr_bytes + slots_bytes;
+    map_bytes_ = rings_off_ + static_cast<std::size_t>(nranks_ * nranks_) *
+                                  ring_stride_;
+    int fd = -1;
+    if (self_ == 0) {
+      ::shm_unlink(seg_name_.c_str());  // stale segment from a crashed job
+      fd = ::shm_open(seg_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd < 0)
+        throw std::runtime_error("shm_open(create) failed for " + seg_name_);
+      if (::ftruncate(fd, static_cast<off_t>(map_bytes_)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("ftruncate failed for " + seg_name_);
+      }
+    } else {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(30);
+      while ((fd = ::shm_open(seg_name_.c_str(), O_RDWR, 0600)) < 0) {
+        if (std::chrono::steady_clock::now() >= deadline)
+          throw std::runtime_error("timeout attaching to " + seg_name_);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                  0);
+    ::close(fd);
+    if (map_ == MAP_FAILED) {
+      map_ = nullptr;
+      throw std::runtime_error("mmap failed for " + seg_name_);
+    }
+    if (self_ == 0) {
+      shm_seg_hdr_t* hdr = header();
+      hdr->magic = shm_magic;
+      hdr->nranks = nranks_;
+      hdr->ring_bytes = ring_bytes_;
+      hdr->death_epoch.store(0, std::memory_order_relaxed);
+      for (int r = 0; r < nranks_; ++r) {
+        slot(r)->pid.store(0, std::memory_order_relaxed);
+        slot(r)->tombstone.store(0, std::memory_order_relaxed);
+        slot(r)->doorbell.store(0, std::memory_order_relaxed);
+      }
+      for (int s = 0; s < nranks_; ++s)
+        for (int d = 0; d < nranks_; ++d) {
+          ring_hdr(s, d)->head.store(0, std::memory_order_relaxed);
+          ring_hdr(s, d)->tail.store(0, std::memory_order_relaxed);
+        }
+      hdr->ready.store(1, std::memory_order_release);
+    } else {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(30);
+      while (header()->ready.load(std::memory_order_acquire) != 1) {
+        if (std::chrono::steady_clock::now() >= deadline)
+          throw std::runtime_error("timeout waiting for segment init");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (header()->magic != shm_magic || header()->nranks != nranks_ ||
+          header()->ring_bytes != ring_bytes_)
+        throw std::runtime_error(
+            "shm segment mismatch (stale job or inconsistent LCI_SHM_RING_KB)");
+    }
+    slot(self_)->pid.store(static_cast<int32_t>(::getpid()),
+                           std::memory_order_release);
+    lock_dir_ = bootstrap::job_dir();
+    if (!lock_dir_.empty()) {
+      const std::string path = lock_dir_ + "/alive-" + std::to_string(self_);
+      lock_fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0600);
+      if (lock_fd_ < 0 || ::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0)
+        throw std::runtime_error("cannot take liveness lock " + path);
+    }
+  }
+
+  static std::size_t align_up(std::size_t n, std::size_t a) {
+    return (n + a - 1) & ~(a - 1);
+  }
+
+  // Doorbell listener: forwards futex bumps on this rank's word to every
+  // registered device doorbell. The waits are bounded (and the thread also
+  // serves as the periodic liveness probe for fully idle processes).
+  void start_listener() {
+    listener_ = std::thread([this] {
+      uint32_t seen = slot(self_)->doorbell.load(std::memory_order_acquire);
+      while (!listener_stop_.load(std::memory_order_acquire)) {
+        futex_wait(&slot(self_)->doorbell, seen, 200);
+        const uint32_t now =
+            slot(self_)->doorbell.load(std::memory_order_acquire);
+        if (now != seen) {
+          seen = now;
+          ring_all_doorbells();
+        } else {
+          probe_all_peers();
+        }
+      }
+    });
+  }
+
+  void stop_listener() {
+    listener_stop_.store(true, std::memory_order_release);
+    slot(self_)->doorbell.fetch_add(1, std::memory_order_release);
+    futex_wake_all(&slot(self_)->doorbell);
+    if (listener_.joinable()) listener_.join();
+  }
+
+  const std::size_t ring_bytes_;
+  const std::string seg_name_;
+  std::size_t ring_stride_ = 0;
+  std::size_t slots_off_ = 0;
+  std::size_t rings_off_ = 0;
+  std::size_t map_bytes_ = 0;
+  void* map_ = nullptr;
+  std::string lock_dir_;
+  int lock_fd_ = -1;
+  std::unique_ptr<util::spinlock_t[]> producer_locks_;
+  uint64_t pump_calls_ = 0;  // pump-lock guarded
+  std::thread listener_;
+  std::atomic<bool> listener_stop_{false};
+};
+
+}  // namespace
+
+std::shared_ptr<fabric_t> create_shm_fabric(int self_rank, int nranks,
+                                            const config_t& config) {
+  return std::make_shared<shm_fabric_t>(self_rank, nranks, config);
+}
+
+}  // namespace lci::net::detail

@@ -189,6 +189,7 @@ class sim_fabric_t final : public fabric_t,
   sim_fabric_t(int nranks, const config_t& config);
   ~sim_fabric_t() override;
 
+  backend_t kind() const override { return backend_t::sim; }
   int nranks() const override { return nranks_; }
   const config_t& config() const override { return config_; }
   std::unique_ptr<context_t> create_context(int rank) override;
