@@ -71,7 +71,7 @@ status_t make_fatal_status(runtime_impl_t* runtime, errorcode_t code, int rank,
 }
 
 status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
-                  uint32_t pending_id, net::mr_id_t mr) {
+                  uint32_t pending_id, net::mr_id_t mr, uint64_t mr_offset) {
   // Matching-order rule: an RTR unlocks an RDMA write into this rank, which
   // the peer completes locally — it must not overtake a batch buffered for
   // the peer. The ordering obligation is per-peer, so every shard's slot for
@@ -90,6 +90,7 @@ status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
   msg.payload.rdv_id = rdv_id;
   msg.payload.pending_id = pending_id;
   msg.payload.mr_id = mr;
+  msg.payload.mr_offset = mr_offset;
   const auto result = device->net_for(peer_rank, 0).post_send(
       peer_rank, &msg, sizeof(msg), 0, nullptr);
   status_t status;
@@ -121,7 +122,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
                                   static_cast<std::size_t>(total_size),
                                   state.user_context));
     const status_t nack =
-        send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
+        send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr, 0);
     if (nack.error.is_retry()) {
       runtime->counters().add(counter_id_t::backlog_pushed);
       device->backlog().push([device, peer_rank, rdv_id](backlog_action_t a) {
@@ -132,7 +133,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
           s.error.code = errorcode_t::done;
           return s;
         }
-        return send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr);
+        return send_rtr(device, peer_rank, rdv_id, 0, net::invalid_mr, 0);
       });
       device->ring_doorbell();
     }
@@ -146,8 +147,10 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     // region; land in runtime staging and scatter at FIN.
     state.buffer = std::malloc(state.size ? state.size : 1);
   }
-  state.mr = runtime->reg_acquire(state.buffer, state.size);
-  const net::mr_id_t mr = state.mr;
+  const net::reg_handle_t reg = runtime->reg_acquire(state.buffer, state.size);
+  state.mr = reg.mr;
+  const net::mr_id_t mr = reg.mr;
+  const uint64_t mr_offset = reg.offset;
   std::shared_ptr<op_record_t> record = state.record;
   const uint64_t span_id = state.span.id;
   const uint32_t pending_id =
@@ -162,7 +165,8 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
     record->engine = nullptr;
     record->entry = nullptr;
   }
-  const status_t status = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+  const status_t status =
+      send_rtr(device, peer_rank, rdv_id, pending_id, mr, mr_offset);
   if (status.error.is_done())
     trace::instant(trace::kind_t::rtr, span_id, peer_rank, tag, total_size);
   if (status.error.is_retry()) {
@@ -171,7 +175,7 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
              runtime->rank(), peer_rank, pending_id);
     runtime->counters().add(counter_id_t::backlog_pushed);
     device->backlog().push([runtime, device, peer_rank, rdv_id, pending_id,
-                            mr, span_id](backlog_action_t a) {
+                            mr, mr_offset, span_id](backlog_action_t a) {
       if (a == backlog_action_t::cancel) {
         // The RTR was never sent, so no FIN will ever resolve the pending
         // receive: complete it here (unless a purge/timeout already did).
@@ -180,7 +184,8 @@ void start_rendezvous_recv(runtime_impl_t* runtime, device_impl_t* device,
         s.error.code = errorcode_t::fatal_canceled;
         return s;
       }
-      const status_t s = send_rtr(device, peer_rank, rdv_id, pending_id, mr);
+      const status_t s =
+          send_rtr(device, peer_rank, rdv_id, pending_id, mr, mr_offset);
       if (s.error.is_done()) trace::instant(trace::kind_t::rtr, span_id);
       return s;
     });
@@ -416,6 +421,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       char* staged = send.staged.release();
       const int peer = cqe.peer_rank;
       const net::mr_id_t mr = rtr.mr_id;
+      const uint64_t mr_offset = rtr.mr_offset;
       const uint32_t imm = encode_fin_imm(rtr.pending_id);
       // Pick the write's shard once (by the send's key) and capture the
       // endpoint: a backlogged retry may run on a progress-engine thread
@@ -427,7 +433,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
       // both and deliver the error to the user's comp (this path used to
       // leak ctx and drop the completion silently). Must not throw: the
       // backlog queue retires whatever status comes back.
-      auto attempt = [this, peer, src, mr, imm, ctx, staged,
+      auto attempt = [this, peer, src, mr, mr_offset, imm, ctx, staged,
                       wire](backlog_action_t action) {
         status_t status;
         if (action == backlog_action_t::cancel) {
@@ -446,7 +452,7 @@ void device_impl_t::handle_recv(const net::cqe_t& cqe) {
         }
         try {
           status.error = map_net_result(wire->post_write(
-              peer, src, ctx->size, mr, 0, /*notify=*/true, imm, ctx));
+              peer, src, ctx->size, mr, mr_offset, /*notify=*/true, imm, ctx));
         } catch (const std::exception&) {
           status.error.code = errorcode_t::fatal;
         }

@@ -72,6 +72,10 @@ struct rtr_payload_t {
   uint32_t pending_id = 0;  // target-side pending-receive id
   uint32_t mr_id = 0;       // registered target buffer
   uint32_t reserved = 0;
+  // Offset of the receive buffer inside mr_id: a registration-cache hit may
+  // serve an MR whose base lies below the posted buffer, and the sender must
+  // direct its RDMA write at base + mr_offset, not the MR base.
+  uint64_t mr_offset = 0;
 };
 
 // Immediate-data encoding (32 bits):

@@ -36,6 +36,13 @@ runtime_impl_t::runtime_impl_t(std::shared_ptr<net::fabric_t> fabric, int rank,
     throw fatal_error_t("max_inject_size must not exceed the eager threshold");
   if (attr_.max_inject_size > 512)
     throw fatal_error_t("max_inject_size is limited to 512 bytes");
+  // Eager frames (a packet plus the transport frame header) are not chunked:
+  // one that can never fit the backend's ring / staging buffer would retry
+  // forever in a silent livelock, so refuse the combination up front.
+  if (attr_.packet_size > fabric_->max_send_payload())
+    throw fatal_error_t(
+        "packet_size exceeds what the backend transport can frame "
+        "(raise LCI_SHM_RING_KB / LCI_TCP_TXBUF_KB or shrink packet_size)");
   if (attr_.reg_cache_entries > 0)
     reg_cache_ = std::make_unique<net::reg_cache_t>(net_context_.get(),
                                                     attr_.reg_cache_entries);

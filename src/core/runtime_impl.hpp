@@ -596,9 +596,9 @@ class runtime_impl_t {
   // configured, direct fabric calls otherwise. User-facing register_memory
   // stays direct — its rmr token must stay valid until the user deregisters,
   // which an LRU cache cannot promise.
-  net::mr_id_t reg_acquire(void* base, std::size_t size) {
-    return reg_cache_ != nullptr ? reg_cache_->acquire(base, size)
-                                 : net_context_->register_memory(base, size);
+  net::reg_handle_t reg_acquire(void* base, std::size_t size) {
+    if (reg_cache_ != nullptr) return reg_cache_->acquire(base, size);
+    return {net_context_->register_memory(base, size), 0};
   }
   void reg_release(net::mr_id_t id) {
     if (reg_cache_ != nullptr)
@@ -759,9 +759,11 @@ void finish_failed_send(runtime_impl_t* runtime, rdv_send_t& send,
 void finish_failed_recv(runtime_impl_t* runtime, rdv_recv_t& recv,
                         errorcode_t code);
 
-// Sends the RTR handshake for a matched rendezvous. Returns done/retry.
+// Sends the RTR handshake for a matched rendezvous. `mr_offset` locates the
+// receive buffer inside `mr` (nonzero when the registration cache served a
+// wider interval). Returns done/retry.
 status_t send_rtr(device_impl_t* device, int peer_rank, uint32_t rdv_id,
-                  uint32_t pending_id, net::mr_id_t mr);
+                  uint32_t pending_id, net::mr_id_t mr, uint64_t mr_offset);
 
 // Continues a matched rendezvous on the receive side: registers the target
 // buffer, records the pending receive, and sends the RTR (falling back to the

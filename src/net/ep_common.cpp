@@ -591,7 +591,9 @@ char* ep_fabric_t::resolve_mr(mr_id_t id, std::size_t offset,
   std::lock_guard<util::spinlock_t> guard(mr_lock_);
   if (id >= mrs_.size() || !mrs_[id].valid) return nullptr;
   const ep_mr_record_t& record = mrs_[id];
-  if (offset + size > record.size) return nullptr;
+  // Overflow-safe: offset and size come off the wire, and `offset + size`
+  // can wrap for a hostile/corrupt uint64 offset, passing the naive check.
+  if (offset > record.size || size > record.size - offset) return nullptr;
   return static_cast<char*>(record.base) + offset;
 }
 

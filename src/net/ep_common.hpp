@@ -278,6 +278,7 @@ class ep_fabric_t : public fabric_t,
   char* resolve_mr(mr_id_t id, std::size_t offset, std::size_t size);
 
   std::size_t max_chunk_bytes() const { return max_chunk_bytes_; }
+  std::size_t max_send_payload() const override { return max_send_payload_; }
 
  protected:
   // Subclass hook run (under the pump lock) when a rank is newly observed
@@ -288,6 +289,9 @@ class ep_fabric_t : public fabric_t,
   const int nranks_;
   const config_t config_;
   std::size_t max_chunk_bytes_ = 256 * 1024;
+  // Largest un-chunked (send) frame payload the transport accepts; set by the
+  // subclass from its ring / staging capacity.
+  std::size_t max_send_payload_ = SIZE_MAX;
 
  private:
   std::unique_ptr<std::atomic<bool>[]> dead_;

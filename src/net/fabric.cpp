@@ -185,7 +185,7 @@ char* sim_fabric_t::resolve_remote(int rank, mr_id_t id, std::size_t offset,
     throw std::invalid_argument("remote access to an unregistered MR (rank " +
                                 std::to_string(rank) + ", mr " +
                                 std::to_string(id) + ")");
-  if (offset + size > record->size)
+  if (offset > record->size || size > record->size - offset)
     throw std::out_of_range("remote access beyond the registered region");
   return static_cast<char*>(record->base) + offset;
 }

@@ -248,6 +248,11 @@ class fabric_t {
   virtual int nranks() const = 0;
   virtual const config_t& config() const = 0;
   virtual std::unique_ptr<context_t> create_context(int rank) = 0;
+  // Largest single post_send payload the transport can ever carry. Sends are
+  // not chunked (only write/read are), so a frame above this bound would be
+  // rejected with retry_full forever — owners must validate their eager
+  // frame size against it up front. SIZE_MAX when unbounded (sim).
+  virtual std::size_t max_send_payload() const { return SIZE_MAX; }
   // Test hook: kills a rank at runtime, independent of the kill schedule.
   // Returns false if the backend cannot (or the rank is already dead).
   // sim and shm kill any rank fabric-wide; tcp only supports killing the

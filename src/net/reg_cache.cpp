@@ -11,8 +11,8 @@ reg_cache_t::~reg_cache_t() {
   for (const auto& kv : by_base_) context_->deregister_memory(kv.second.mr);
 }
 
-mr_id_t reg_cache_t::acquire(void* base, std::size_t size) {
-  if (capacity_ == 0) return context_->register_memory(base, size);
+reg_handle_t reg_cache_t::acquire(void* base, std::size_t size) {
+  if (capacity_ == 0) return {context_->register_memory(base, size), 0};
   const uintptr_t lo = reinterpret_cast<uintptr_t>(base);
   std::unique_lock<util::spinlock_t> guard(lock_);
   // Covering interval: the greatest entry starting at or below `lo`.
@@ -24,7 +24,7 @@ mr_id_t reg_cache_t::acquire(void* base, std::size_t size) {
     if (lo >= entry_lo && lo - entry_lo + size <= entry.size) {
       ++entry.refs;
       ++hits_;
-      return entry.mr;
+      return {entry.mr, static_cast<std::size_t>(lo - entry_lo)};
     }
   }
   // An idle entry at the same base that is too small blocks the slot —
@@ -35,7 +35,7 @@ mr_id_t reg_cache_t::acquire(void* base, std::size_t size) {
     if (same->second.refs != 0) {
       ++misses_;
       guard.unlock();
-      return context_->register_memory(base, size);
+      return {context_->register_memory(base, size), 0};
     }
     context_->deregister_memory(same->second.mr);
     by_mr_.erase(same->second.mr);
@@ -56,11 +56,11 @@ mr_id_t reg_cache_t::acquire(void* base, std::size_t size) {
   auto inserted = by_base_.emplace(lo, entry);
   if (!inserted.second) {
     // Lost a race for the slot while unlocked; keep ours as uncached.
-    return mr;
+    return {mr, 0};
   }
   by_mr_.emplace(mr, lo);
   if (by_base_.size() > capacity_) evict_lru_locked();
-  return mr;
+  return {mr, 0};
 }
 
 void reg_cache_t::release(mr_id_t id) {

@@ -31,6 +31,17 @@
 
 namespace lci::net {
 
+// Result of an acquire: the MR plus the offset of the requested base inside
+// the registered interval. A cache hit may be served by an entry whose base
+// lies *below* the requested pointer, so remote peers addressing the buffer
+// through this MR must add `offset` to every remote offset they use —
+// dropping it lands RDMA traffic at the cached entry's base instead of the
+// requested buffer.
+struct reg_handle_t {
+  mr_id_t mr = invalid_mr;
+  std::size_t offset = 0;
+};
+
 class reg_cache_t {
  public:
   struct stats_t {
@@ -50,8 +61,9 @@ class reg_cache_t {
   reg_cache_t& operator=(const reg_cache_t&) = delete;
 
   // MR covering [base, base + size). Hit: a resident interval covers the
-  // range (its refcount rises). Miss: registers with the fabric and inserts.
-  mr_id_t acquire(void* base, std::size_t size);
+  // range (its refcount rises) and the handle's offset locates `base` inside
+  // it. Miss: registers with the fabric and inserts (offset 0).
+  reg_handle_t acquire(void* base, std::size_t size);
 
   // Drops one reference. Ids not owned by the cache (capacity 0, direct
   // registrations, collision spills) are deregistered immediately.

@@ -120,6 +120,11 @@ class shm_fabric_t final : public ep_fabric_t {
         ring_bytes_(env_ring_bytes()),
         seg_name_("/lci-" + bootstrap::job_id()) {
     max_chunk_bytes_ = std::min<std::size_t>(max_chunk_bytes_, ring_bytes_ / 4);
+    // A frame must be contiguous in the ring, and the worst-case wrap filler
+    // consumes up to one frame's length — so only frames of at most half the
+    // capacity are guaranteed to ever fit. Sends are not chunked; anything
+    // larger would bounce with `full` forever (see max_send_payload()).
+    max_send_payload_ = ring_bytes_ / 2 - sizeof(frame_header_t);
     producer_locks_.reset(
         new util::spinlock_t[static_cast<std::size_t>(nranks)]);
     attach();

@@ -36,6 +36,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -98,6 +99,13 @@ class tcp_fabric_t final : public ep_fabric_t {
         txbuf_cap_(env_txbuf_bytes()),
         peers_(static_cast<std::size_t>(nranks)) {
     max_chunk_bytes_ = std::min(max_chunk_bytes_, txbuf_cap_ / 2);
+    // A send frame must fit the staging queue whole once it drains; anything
+    // larger would bounce with `full` forever (see max_send_payload()).
+    max_send_payload_ = txbuf_cap_ - sizeof(frame_header_t);
+    // Largest frame a well-behaved peer can emit (its sends are bounded by
+    // its txbuf, its write/read chunks by max_chunk_bytes). Anything above
+    // this on the wire is a corrupt length prefix, not a big message.
+    rx_frame_limit_ = std::max(max_chunk_bytes_, txbuf_cap_);
     connect_mesh();
     setup_epoll();
     start_listener();
@@ -276,6 +284,16 @@ class tcp_fabric_t final : public ep_fabric_t {
            p.rx.size() - p.rx_pos >= sizeof(frame_header_t)) {
       frame_header_t header;
       std::memcpy(&header, p.rx.data() + p.rx_pos, sizeof(header));
+      if (header.payload_size > rx_frame_limit_) {
+        // A length prefix no legitimate frame can carry means stream framing
+        // is lost — unrecoverable on a byte stream. Kill the connection
+        // rather than growing the reassembly buffer toward 4 GB waiting for
+        // payload bytes that will never arrive.
+        p.rx.clear();
+        p.rx_pos = 0;
+        mark_dead_local(peer);
+        return false;
+      }
       const std::size_t need = sizeof(frame_header_t) + header.payload_size;
       if (p.rx.size() - p.rx_pos < need) break;
       dispatch_frame(header, p.rx.data() + p.rx_pos + sizeof(header));
@@ -426,6 +444,7 @@ class tcp_fabric_t final : public ep_fabric_t {
   }
 
   const std::size_t txbuf_cap_;
+  std::size_t rx_frame_limit_ = 0;
   std::vector<peer_t> peers_;
   int pump_epfd_ = -1;
   int wake_epfd_ = -1;

@@ -124,6 +124,64 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return "bytes" + std::to_string(info.param); });
 
 // ---------------------------------------------------------------------------
+// Registration cache: a receive posted at an interior pointer of a previously
+// cached registration is served by the covering MR, and the RTR must carry
+// the buffer's offset inside it — without the offset the sender's RDMA write
+// lands at the cached entry's base instead of the posted buffer (regression).
+// ---------------------------------------------------------------------------
+
+TEST(RegCache, InteriorPointerRendezvousLandsAtPostedBuffer) {
+  lci::runtime_attr_t attr;
+  attr.reg_cache_entries = 64;
+  run2(
+      [&](int rank) {
+        const int peer = 1 - rank;
+        const std::size_t chunk = 64 * 1024;  // rendezvous-sized
+        const std::size_t parts = 4;
+        if (rank == 0) {
+          std::vector<char> arena(parts * chunk, 0);
+          // Prime the cache: one transfer spanning the whole arena leaves its
+          // registration resident.
+          lci::status_t rs =
+              recv_blocking(peer, arena.data(), arena.size(), 1);
+          ASSERT_TRUE(rs.error.is_done());
+          const uint64_t hits_before = lci::get_counters().reg_cache_hits;
+          for (std::size_t k = 1; k < parts; ++k) {
+            std::fill(arena.begin(), arena.end(), 0);
+            lci::status_t is =
+                recv_blocking(peer, arena.data() + k * chunk, chunk,
+                              static_cast<lci::tag_t>(1 + k));
+            ASSERT_TRUE(is.error.is_done());
+            for (std::size_t i = 0; i < chunk; ++i)
+              ASSERT_EQ(arena[k * chunk + i],
+                        static_cast<char>((i * 13 + k) & 0xff))
+                  << "part " << k << " byte " << i;
+            // Nothing may land at the MR base (where the payload went when
+            // the RTR dropped the offset).
+            for (std::size_t i = 0; i < chunk; ++i)
+              ASSERT_EQ(arena[i], 0) << "corruption at arena base, byte " << i;
+          }
+          // Every interior receive must have been a covering-interval hit.
+          EXPECT_GE(lci::get_counters().reg_cache_hits - hits_before,
+                    parts - 1);
+        } else {
+          std::vector<char> whole(parts * chunk);
+          for (std::size_t i = 0; i < whole.size(); ++i)
+            whole[i] = static_cast<char>(i & 0xff);
+          send_blocking(peer, whole.data(), whole.size(), 1);
+          for (std::size_t k = 1; k < parts; ++k) {
+            std::vector<char> out(chunk);
+            for (std::size_t i = 0; i < chunk; ++i)
+              out[i] = static_cast<char>((i * 13 + k) & 0xff);
+            send_blocking(peer, out.data(), chunk,
+                          static_cast<lci::tag_t>(1 + k));
+          }
+        }
+      },
+      attr);
+}
+
+// ---------------------------------------------------------------------------
 // Matching policies (Sec. 3.3.2)
 // ---------------------------------------------------------------------------
 
