@@ -15,6 +15,7 @@
 // and 1 over the ambient backend (net=shm or net=tcp), and each row carries
 // the registration-cache hit/miss deltas so scripts/check_bench.py can gate
 // the steady-state hit rate on rendezvous traffic.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,10 +81,20 @@ void run_sim() {
 // the reused recv buffer is what hammers the cache: steady state is one miss
 // for the buffer, then all hits.
 void run_real() {
-  lci::g_runtime_init();
+  lci::runtime_attr_t attr;
+  // Small-ring soaks shrink LCI_SHM_RING_KB below the default 4 KiB packet;
+  // LCI_BENCH_PACKET_SIZE lets the run shrink the packets to match instead
+  // of failing the packet-vs-frame capacity check at init.
+  if (const char* env = std::getenv("LCI_BENCH_PACKET_SIZE"))
+    if (env[0] != '\0' && std::atol(env) > 0)
+      attr.packet_size = static_cast<std::size_t>(std::atol(env));
+  lci::g_runtime_init(attr);
   const int me = lci::get_rank_me();
   const char* net =
       lci::net::to_string(lci::get_attr(lci::runtime_t{}).backend);
+  const char* ring_env = std::getenv("LCI_SHM_RING_KB");
+  const long ring_kb =
+      ring_env != nullptr && ring_env[0] != '\0' ? std::atol(ring_env) : 1024;
   const long base_iters = bench::iters(400);
   constexpr int kWindow = 16;
   constexpr int kTag = 4;
@@ -118,12 +129,21 @@ void run_real() {
         s = lci::post_send(1, &ack, 1, kTag + 1, {});
         lci::progress();
       } while (s.error.is_retry());
+      // Backpressure happens on the *producer* (rank 1 parks on the ring
+      // futex); pull its delta over so the report row carries it.
+      uint64_t peer_bp = 0;
+      lci::status_t bp_status =
+          lci::post_recv(1, &peer_bp, sizeof(peer_bp), kTag + 2, recv_sync);
+      if (bp_status.error.is_posted()) lci::sync_wait(recv_sync, &bp_status);
       const double gbps = static_cast<double>(iters) *
                           static_cast<double>(size) / elapsed / 1e9;
       const long hits =
           static_cast<long>(after.reg_cache_hits - before.reg_cache_hits);
       const long misses =
           static_cast<long>(after.reg_cache_misses - before.reg_cache_misses);
+      const long bp_waits =
+          static_cast<long>(after.backpressure_waits -
+                            before.backpressure_waits + peer_bp);
       std::printf("%7zu  %7.3f  %8ld  %10ld\n", size, gbps, hits, misses);
       report.row()
           .field("net", std::string(net))
@@ -131,13 +151,16 @@ void run_real() {
           .field("backend", std::string("lci"))
           .field("threads", 1)
           .field("msg_size", static_cast<long>(size))
+          .field("ring_kb", ring_kb)
           .field("reg_hits", hits)
           .field("reg_misses", misses)
+          .field("bp_waits", bp_waits)
           .field("gb_per_sec", gbps);
       lci::free_comp(&recv_sync);
     } else if (me == 1) {
       std::vector<char> out(size, 'x');
       char ack = 0;
+      const lci::counters_t before = lci::get_counters();
       lci::comp_t ack_sync = lci::alloc_sync(1);
       lci::status_t ack_status =
           lci::post_recv(0, &ack, 1, kTag + 1, ack_sync);
@@ -164,6 +187,13 @@ void run_real() {
         lci::sync_wait(send_sync[slot], &done);
       }
       if (ack_status.error.is_posted()) lci::sync_wait(ack_sync, &ack_status);
+      uint64_t bp = lci::get_counters().backpressure_waits -
+                    before.backpressure_waits;
+      lci::status_t bs;
+      do {
+        bs = lci::post_send(0, &bp, sizeof(bp), kTag + 2, {});
+        lci::progress();
+      } while (bs.error.is_retry());
       for (auto& sy : send_sync) lci::free_comp(&sy);
       lci::free_comp(&ack_sync);
     }

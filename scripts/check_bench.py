@@ -240,6 +240,69 @@ def check_reg_cache_invariant(results_dirs, min_rate):
                 f"hit rate in {checked} rendezvous row(s)")
 
 
+def check_backpressure_invariant(results_dirs, min_ratio=0.5):
+    """Futex-backpressure invariant from the hostile-conditions work: the CI
+    soak reruns the real-transport fig4 sweep with a deliberately tiny SHM
+    ring (LCI_SHM_RING_KB=8). Two things must hold across the merged shm
+    reports: (1) the small-ring rows actually parked producers on the
+    consumer-progress futex (sum of bp_waits > 0 — if it is zero the
+    producer never saw ring-full and the soak tested nothing), and (2) on
+    small messages (<= 4096 B, where the ring size is the only difference)
+    the small-ring throughput stays within min_ratio of the default-ring
+    run — parking must be a bounded wait, not a collapse. Large-message
+    rows are excluded: a tiny ring legitimately serializes rendezvous
+    traffic. Reports without small-ring rows (no soak ran) check nothing."""
+    by_ring = {}
+    for results_dir in results_dirs:
+        if not os.path.isdir(results_dir):
+            continue
+        for fname in sorted(os.listdir(results_dir)):
+            if not fname.startswith("BENCH_fig4_bandwidth_shm") or \
+               not fname.endswith(".json"):
+                continue
+            report = load_report(os.path.join(results_dir, fname))
+            for row in report.get("rows", []):
+                ring = row.get("ring_kb", 1024)
+                sizes = by_ring.setdefault(ring, {})
+                size = row.get("msg_size", 0)
+                cur = sizes.setdefault(size, {"gb": 0.0, "bp": 0})
+                cur["gb"] = max(cur["gb"], row.get("gb_per_sec", 0.0))
+                cur["bp"] += row.get("bp_waits", 0)
+    if len(by_ring) < 2:
+        return [], ("backpressure invariant: no small-ring soak rows "
+                    "(nothing to check)")
+    small = min(by_ring)
+    default = max(by_ring)
+    failures = []
+    total_bp = sum(cell["bp"] for cell in by_ring[small].values())
+    if total_bp <= 0:
+        failures.append(
+            f"backpressure invariant violated: ring_kb={small} soak rows "
+            f"recorded zero backpressure_waits (the ring never filled; the "
+            f"soak exercised nothing)")
+    checked = 0
+    for size in sorted(by_ring[small].keys() & by_ring[default].keys()):
+        if size > 4096:
+            continue
+        slow = by_ring[small][size]["gb"]
+        fast = by_ring[default][size]["gb"]
+        if fast <= 0:
+            continue
+        checked += 1
+        if slow < fast * min_ratio:
+            failures.append(
+                f"backpressure invariant violated: msg_size={size} "
+                f"ring_kb={small} throughput {slow:.4g} GB/s < "
+                f"{min_ratio:.0%} of ring_kb={default} run "
+                f"({fast:.4g} GB/s) — futex wait is collapsing, not "
+                f"bounding")
+    if failures:
+        return failures, None
+    return [], (f"backpressure invariant holds: {total_bp} futex wait(s) "
+                f"on ring_kb={small}, throughput within {min_ratio:.0%} of "
+                f"ring_kb={default} on {checked} small-message size(s)")
+
+
 def merge_results(name, paths):
     """Best-per-row merge across repeated runs of the same bench."""
     metric, higher_better = METRICS[name]
@@ -274,6 +337,11 @@ def run_check(baseline_dir, results_dirs, warn_threshold, fail_threshold,
         failures.extend(reg_fails)
     elif reg_note:
         print(f"  {reg_note}")
+    bp_fails, bp_note = check_backpressure_invariant(results_dirs)
+    if bp_fails:
+        failures.extend(bp_fails)
+    elif bp_note:
+        print(f"  {bp_note}")
     for name in sorted(METRICS):
         base_path = os.path.join(baseline_dir, f"BENCH_{name}.json")
         new_paths = [os.path.join(d, f"BENCH_{name}.json")
@@ -436,6 +504,35 @@ def self_test():
 
         print("== self-test: cold reg-cache hit rate must fail")
         assert run_check(base, [cold], 0.10, 0.35, 2.0) == 1
+
+    def ring_rows(ring_kb, gbps, bp):
+        return [{"net": "shm", "mode": "real", "backend": "lci",
+                 "threads": 1, "msg_size": 1024, "ring_kb": ring_kb,
+                 "reg_hits": 0, "reg_misses": 0, "bp_waits": bp,
+                 "gb_per_sec": gbps},
+                {"net": "shm", "mode": "real", "backend": "lci",
+                 "threads": 1, "msg_size": 1 << 20, "ring_kb": ring_kb,
+                 "reg_hits": 15, "reg_misses": 1, "bp_waits": bp,
+                 "gb_per_sec": gbps * 0.1}]  # big rows exempt from the ratio
+
+    with tempfile.TemporaryDirectory() as base, \
+         tempfile.TemporaryDirectory() as deflt, \
+         tempfile.TemporaryDirectory() as soak_ok, \
+         tempfile.TemporaryDirectory() as soak_idle, \
+         tempfile.TemporaryDirectory() as soak_slow:
+        write(deflt, "fig4_bandwidth_shm", ring_rows(1024, 2.0, 0))
+        write(soak_ok, "fig4_bandwidth_shm", ring_rows(8, 1.2, 37))
+        write(soak_idle, "fig4_bandwidth_shm", ring_rows(8, 1.2, 0))
+        write(soak_slow, "fig4_bandwidth_shm", ring_rows(8, 0.4, 37))
+
+        print("== self-test: healthy backpressure soak must pass")
+        assert run_check(base, [deflt, soak_ok], 0.10, 0.35, 2.0) == 0
+
+        print("== self-test: soak with zero futex waits must fail")
+        assert run_check(base, [deflt, soak_idle], 0.10, 0.35, 2.0) == 1
+
+        print("== self-test: small-ring throughput collapse must fail")
+        assert run_check(base, [deflt, soak_slow], 0.10, 0.35, 2.0) == 1
 
     print("check_bench self-test: PASS")
     return 0

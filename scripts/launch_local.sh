@@ -44,6 +44,31 @@ if ! [ "$nranks" -ge 1 ] 2>/dev/null; then
   exit 2
 fi
 
+# Reap leftovers of crashed jobs before launching: a job dir whose boot
+# liveness markers are all unlocked (flock succeeds) has no live rank — its
+# dir and matching /dev/shm segment are stale. Live jobs hold their flocks,
+# so this never touches a running job; dirs with no markers yet are skipped
+# (they may be mid-launch).
+for stale_dir in "${TMPDIR:-/tmp}"/lci-job.*; do
+  [ -d "$stale_dir" ] || continue
+  markers=("$stale_dir"/boot-* "$stale_dir"/alive-*)
+  live=0
+  seen=0
+  for marker in "${markers[@]}"; do
+    [ -e "$marker" ] || continue
+    seen=1
+    if ! flock -n "$marker" true 2>/dev/null; then
+      live=1
+      break
+    fi
+  done
+  if [ "$seen" -eq 1 ] && [ "$live" -eq 0 ]; then
+    stale_id=$(basename "$stale_dir" | tr -d '.')
+    rm -rf "$stale_dir"
+    rm -f "/dev/shm/lci-$stale_id"
+  fi
+done
+
 job_dir=$(mktemp -d "${TMPDIR:-/tmp}/lci-job.XXXXXX")
 job_id=$(basename "$job_dir" | tr -d '.')
 

@@ -81,6 +81,15 @@ struct counters_t {
   uint64_t reg_cache_hits = 0;
   uint64_t reg_cache_misses = 0;
   uint64_t reg_cache_evictions = 0;
+  // Transport health (real backends; all zero on sim). Read from the fabric
+  // at snapshot time (not counter cells, so reset_counters does not clear
+  // them): liveness heartbeats sent (TCP ping frames / SHM progress-epoch
+  // stamps), peers declared dead by the liveness timeout (organic deaths —
+  // EOF, pid gone — do not count), and producers that parked on a full SHM
+  // ring's consumer-progress futex instead of spinning.
+  uint64_t heartbeats_sent = 0;
+  uint64_t peers_timed_out = 0;
+  uint64_t backpressure_waits = 0;
 };
 
 namespace detail {

@@ -265,6 +265,19 @@ inline std::size_t device_shards_env_default() {
   return value;
 }
 
+// Environment default for the heartbeat liveness timeout
+// (runtime_attr_t::peer_timeout_us): LCI_PEER_TIMEOUT_MS=N milliseconds,
+// 0 (the default) disables liveness detection.
+inline uint64_t peer_timeout_env_default() {
+  static const uint64_t value = []() -> uint64_t {
+    const char* env = std::getenv("LCI_PEER_TIMEOUT_MS");
+    if (env == nullptr || env[0] == '\0') return 0;
+    const long long parsed = std::atoll(env);
+    return parsed > 0 ? static_cast<uint64_t>(parsed) * 1000 : 0;
+  }();
+  return value;
+}
+
 // Environment default for the registration cache capacity
 // (runtime_attr_t::reg_cache_entries): LCI_REG_CACHE=N entries, 0 disables.
 inline std::size_t reg_cache_env_default() {
@@ -289,6 +302,15 @@ struct runtime_attr_t {
   // its actual kind. Defaults to LCI_BACKEND, which is how
   // scripts/launch_local.sh selects the transport per job.
   net::backend_t backend = net::backend_env_default();
+  // Heartbeat liveness timeout for the real backends (shm/tcp), in
+  // microseconds; 0 (the default) turns liveness detection off. When set, a
+  // peer not heard from — no frames, no heartbeat — for this long is declared
+  // dead exactly as if it had crashed: every survivor observes one
+  // fatal_peer_down per dead rank. Detects SIGSTOPped/wedged/partitioned
+  // peers that TCP EOF and SHM pid probes cannot. Too-small values false-
+  // positive under scheduler stalls; hundreds of milliseconds is a sane
+  // floor. The sim backend ignores it. Defaults to LCI_PEER_TIMEOUT_MS.
+  uint64_t peer_timeout_us = detail::peer_timeout_env_default();
   // Registration-cache capacity in entries (net/reg_cache.hpp): internal
   // rendezvous registrations are served from a refcounted LRU cache of live
   // registered intervals instead of hitting the fabric every transfer.
@@ -436,6 +458,11 @@ class alloc_runtime_x {
     attr_.reg_cache_entries = v;
     return *this;
   }
+  // Heartbeat liveness timeout (runtime_attr_t::peer_timeout_us).
+  alloc_runtime_x& peer_timeout_us(uint64_t v) {
+    attr_.peer_timeout_us = v;
+    return *this;
+  }
   // Operation-lifecycle tracing (runtime_attr_t::trace and friends).
   alloc_runtime_x& trace(bool v) {
     attr_.trace = v;
@@ -492,8 +519,13 @@ bool cancel(op_t op);
 
 // Test hook: kills `rank` fabric-wide, as if its kill schedule had fired.
 // Every in-flight and subsequently posted operation naming it completes with
-// fatal_peer_down. Returns false if the rank was already dead (or the backend
-// cannot kill).
+// fatal_peer_down. On sim and shm the kill is immediate (shared state). On
+// tcp a remote kill travels as a poison control frame: the victim shuts its
+// transport down on receipt so every peer observes the death organically; a
+// wedged victim that never reads it is covered by a local fallback deadline
+// (max(peer_timeout_us, 1s)) at the calling rank, so true means "the kill is
+// on its way", not "the rank is dead yet". Returns false if the rank was
+// already dead (or the backend cannot kill).
 bool kill_peer(int rank, runtime_t runtime = {});
 
 // Quiesces a device for graceful teardown: progresses it until its backlog is

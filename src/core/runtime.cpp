@@ -198,6 +198,10 @@ counters_t get_counters(runtime_t runtime) {
     c.reg_cache_misses = stats.misses;
     c.reg_cache_evictions = stats.evictions;
   }
+  const net::fabric_health_t health = rt->fabric().health();
+  c.heartbeats_sent = health.heartbeats_sent;
+  c.peers_timed_out = health.peers_timed_out;
+  c.backpressure_waits = health.backpressure_waits;
   return c;
 }
 

@@ -33,12 +33,14 @@ binding_t& process_binding_slot() {
   return binding;
 }
 
-binding_t process_binding(net::backend_t backend) {
+binding_t process_binding(net::backend_t backend, uint64_t peer_timeout_us) {
   std::lock_guard<std::mutex> guard(process_binding_lock());
   binding_t& binding = process_binding_slot();
   if (!binding) {
+    net::config_t config;
+    config.peer_timeout_us = peer_timeout_us;
     auto ctx = std::make_shared<rank_ctx_t>();
-    ctx->fabric = net::create_fabric(backend);
+    ctx->fabric = net::create_fabric(backend, config);
     ctx->rank = net::bootstrap_rank();
     binding = ctx;
   } else if (binding->fabric->kind() != backend) {
@@ -54,7 +56,7 @@ binding_t process_binding_if_any() {
   return process_binding_slot();
 }
 
-binding_t ensure_binding(net::backend_t backend) {
+binding_t ensure_binding(net::backend_t backend, uint64_t peer_timeout_us) {
   binding_t& binding = tls_binding();
   if (!binding) {
     if (backend == net::backend_t::sim) {
@@ -65,7 +67,7 @@ binding_t ensure_binding(net::backend_t backend) {
       ctx->rank = 0;
       binding = ctx;
     } else {
-      binding = process_binding(backend);
+      binding = process_binding(backend, peer_timeout_us);
     }
   }
   return binding;
@@ -143,7 +145,8 @@ namespace lci {
 // ---------------------------------------------------------------------------
 
 runtime_t g_runtime_init(const runtime_attr_t& attr) {
-  auto binding = sim::detail_sim::ensure_binding(attr.backend);
+  auto binding =
+      sim::detail_sim::ensure_binding(attr.backend, attr.peer_timeout_us);
   std::lock_guard<util::spinlock_t> guard(binding->lock);
   if (binding->g_refcount++ == 0) {
     binding->g_runtime.p =
@@ -172,7 +175,8 @@ runtime_t get_g_runtime() {
 }
 
 runtime_t alloc_runtime(const runtime_attr_t& attr) {
-  auto binding = sim::detail_sim::ensure_binding(attr.backend);
+  auto binding =
+      sim::detail_sim::ensure_binding(attr.backend, attr.peer_timeout_us);
   runtime_t runtime;
   runtime.p = new detail::runtime_impl_t(binding->fabric, binding->rank, attr);
   return runtime;

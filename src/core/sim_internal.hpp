@@ -25,8 +25,9 @@ binding_t& tls_binding();
 // creates an implicit single-rank world (so single-process quickstarts need
 // no explicit bootstrap); shm/tcp attach the process-global binding for the
 // rank described by the launcher environment, creating its fabric endpoint
-// on first use.
-binding_t ensure_binding(net::backend_t backend);
+// on first use (peer_timeout_us seeds its liveness config then — later
+// runtimes share the first fabric, whose timeout wins).
+binding_t ensure_binding(net::backend_t backend, uint64_t peer_timeout_us = 0);
 
 // The process-global real-backend binding, or null if none was created.
 // current_binding() falls back to this on a TLS miss so worker threads that

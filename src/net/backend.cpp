@@ -54,6 +54,52 @@ backend_t backend_env_default() {
 int bootstrap_rank() { return bootstrap::rank(); }
 int bootstrap_nranks() { return bootstrap::nranks(); }
 
+namespace {
+
+double env_rate(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const double v = std::atof(env);
+  return v >= 0.0 ? v : fallback;
+}
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long long v = std::atoll(env);
+  return v >= 0 ? static_cast<uint64_t>(v) : fallback;
+}
+
+}  // namespace
+
+fault_config_t fault_env_config(const fault_config_t& base) {
+  fault_config_t fault = base;
+  fault.loss_rate = env_rate("LCI_FAULT_LOSS_RATE", fault.loss_rate);
+  fault.delay_rate = env_rate("LCI_FAULT_DELAY_RATE", fault.delay_rate);
+  fault.delay_polls = static_cast<uint32_t>(
+      env_u64("LCI_FAULT_DELAY_POLLS", fault.delay_polls));
+  fault.retry_rate = env_rate("LCI_FAULT_RETRY_RATE", fault.retry_rate);
+  fault.lock_fraction =
+      env_rate("LCI_FAULT_LOCK_FRACTION", fault.lock_fraction);
+  fault.seed = env_u64("LCI_FAULT_SEED", fault.seed);
+  fault.max_faults = env_u64("LCI_FAULT_MAX", fault.max_faults);
+  const char* kill = std::getenv("LCI_FAULT_KILL_RANK");
+  if (kill != nullptr && kill[0] != '\0') fault.kill_rank = std::atoi(kill);
+  fault.kill_after_ops =
+      env_u64("LCI_FAULT_KILL_AFTER_OPS", fault.kill_after_ops);
+  fault.tcp_reset_rate =
+      env_rate("LCI_FAULT_TCP_RESET_RATE", fault.tcp_reset_rate);
+  fault.tcp_short_write_rate =
+      env_rate("LCI_FAULT_TCP_SHORT_WRITE_RATE", fault.tcp_short_write_rate);
+  fault.shm_ring_shrink = static_cast<std::size_t>(
+      env_u64("LCI_FAULT_SHM_RING_SHRINK", fault.shm_ring_shrink));
+  return fault;
+}
+
+uint64_t peer_timeout_env_us() {
+  return env_u64("LCI_PEER_TIMEOUT_MS", 0) * 1000;
+}
+
 std::shared_ptr<fabric_t> create_fabric(backend_t backend,
                                         const config_t& config) {
   switch (backend) {
@@ -62,11 +108,22 @@ std::shared_ptr<fabric_t> create_fabric(backend_t backend,
       // create_sim_fabric (lci::sim::world_t).
       return create_sim_fabric(1, config);
     case backend_t::shm:
-      return detail::create_shm_fabric(bootstrap::rank(), bootstrap::nranks(),
-                                       config);
-    case backend_t::tcp:
-      return detail::create_tcp_fabric(bootstrap::rank(), bootstrap::nranks(),
-                                       config);
+    case backend_t::tcp: {
+      // Real backends are created from the forked-child env contract, so the
+      // fault policy and liveness timeout ride the environment too.
+      config_t real = config;
+      real.fault = fault_env_config(real.fault);
+      if (real.peer_timeout_us == 0)
+        real.peer_timeout_us = peer_timeout_env_us();
+      // Taken before any handshake wait: a rank that dies mid-handshake is
+      // detected by its peers' bootstrap probes instead of a blind timeout.
+      bootstrap::announce_self();
+      return backend == backend_t::shm
+                 ? detail::create_shm_fabric(bootstrap::rank(),
+                                             bootstrap::nranks(), real)
+                 : detail::create_tcp_fabric(bootstrap::rank(),
+                                             bootstrap::nranks(), real);
+    }
   }
   throw std::runtime_error("create_fabric: unknown backend");
 }

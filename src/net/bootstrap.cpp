@@ -1,5 +1,7 @@
 #include "net/bootstrap.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -65,7 +67,37 @@ std::map<std::string, int>& barrier_epochs() {
   return epochs;
 }
 
+// The fd holding this rank's boot-liveness flock. Held (leaked) for the
+// process lifetime; the kernel releases the lock on any exit.
+int& announce_fd() {
+  static int fd = -1;
+  return fd;
+}
+
 }  // namespace
+
+void announce_self() {
+  const std::string dir = job_dir();
+  if (dir.empty() || nranks() <= 1) return;
+  std::lock_guard<std::mutex> guard(local_lock());
+  int& fd = announce_fd();
+  if (fd >= 0) return;
+  const std::string path = dir + "/boot-" + std::to_string(rank());
+  fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0600);
+  if (fd < 0 || ::flock(fd, LOCK_EX | LOCK_NB) != 0)
+    throw std::runtime_error("bootstrap: cannot take liveness marker " + path);
+}
+
+bool rank_alive(int r) {
+  const std::string dir = job_dir();
+  if (dir.empty()) return true;
+  const std::string path = dir + "/boot-" + std::to_string(r);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return true;  // not announced yet — may still be launching
+  const bool lock_free = ::flock(fd, LOCK_EX | LOCK_NB) == 0;
+  ::close(fd);  // releases the probe's lock if it got one
+  return !lock_free;
+}
 
 int rank() {
   const int r = env_int("LCI_RANK", 0);
@@ -125,7 +157,7 @@ void put(const std::string& key, const std::string& value) {
                              ": " + std::strerror(errno));
 }
 
-std::string get(const std::string& key, int timeout_ms) {
+std::string get(const std::string& key, int timeout_ms, int owner_rank) {
   validate_key(key);
   const std::string dir = job_dir();
   if (dir.empty()) {
@@ -139,9 +171,14 @@ std::string get(const std::string& key, int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   std::string value;
+  int polls = 0;
   while (!read_file(path, &value)) {
     if (std::chrono::steady_clock::now() >= deadline)
       throw std::runtime_error("bootstrap: timeout waiting for key " + key);
+    if (owner_rank >= 0 && ++polls % 50 == 0 && !rank_alive(owner_rank))
+      throw std::runtime_error("bootstrap: rank " +
+                               std::to_string(owner_rank) +
+                               " died before publishing key " + key);
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return value;
@@ -169,10 +206,14 @@ void barrier(const std::string& name, int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (int r = 0; r < n; ++r) {
+    int polls = 0;
     while (!path_exists(base + std::to_string(r))) {
       if (std::chrono::steady_clock::now() >= deadline)
         throw std::runtime_error("bootstrap: timeout in barrier " + name +
                                  " waiting for rank " + std::to_string(r));
+      if (++polls % 50 == 0 && !rank_alive(r))
+        throw std::runtime_error("bootstrap: rank " + std::to_string(r) +
+                                 " died before reaching barrier " + name);
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }

@@ -39,14 +39,30 @@ std::string job_dir();
 // from the PID for single-process jobs.
 std::string job_id();
 
+// Handshake liveness: each rank holds an exclusive flock on
+// <job_dir>/boot-<rank> for its whole life (the kernel releases it on ANY
+// death, including SIGKILL and the zombie window where kill(pid, 0) still
+// says alive). announce_self takes the lock (idempotent; called on fabric
+// creation, before any handshake wait); rank_alive answers false only
+// definitively — the rank announced and then died. A rank that has not
+// announced yet reads as alive (it may still be launching).
+void announce_self();
+bool rank_alive(int rank);
+
 // Key-value publish / lookup. Keys must be short and filename-safe
 // ([A-Za-z0-9._-]); values are opaque strings.
 void put(const std::string& key, const std::string& value);
-// Blocks until the key appears; throws fatal after timeout_ms.
-std::string get(const std::string& key, int timeout_ms = 30000);
+// Blocks until the key appears; throws fatal after timeout_ms. When
+// owner_rank is given, the wait also probes that rank's liveness marker and
+// fails fast with a clear error if the publisher died mid-handshake,
+// instead of burning the whole blind timeout.
+std::string get(const std::string& key, int timeout_ms = 30000,
+                int owner_rank = -1);
 
 // Counted barrier over all ranks of the job. Reusable: each call site name
-// carries an internal epoch, so the same name may be used repeatedly.
+// carries an internal epoch, so the same name may be used repeatedly. Waits
+// probe the awaited rank's liveness marker: a rank that died before arriving
+// fails the barrier fast instead of hanging until the blind timeout.
 void barrier(const std::string& name, int timeout_ms = 30000);
 
 }  // namespace lci::net::bootstrap

@@ -1,6 +1,7 @@
 #include "net/ep_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 
@@ -23,6 +24,34 @@ constexpr uint8_t wire_err_dropped = 2;
 ep_device_t::ep_device_t(ep_fabric_t* fabric, int context)
     : fabric_(fabric), context_(context) {
   index_ = fabric_->add_device(context_, this);
+  // Same seed mix as the sim device: a given (seed, rank, context, device)
+  // replays the same fault schedule regardless of backend.
+  uint64_t mix = fabric_->config().fault.seed;
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(fabric_->self_rank());
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(context_);
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(index_);
+  fault_rng_ = util::xoshiro256_t(mix);
+}
+
+post_result_t ep_device_t::maybe_inject_fault() {
+  const fault_config_t& fault = fabric_->config().fault;
+  if (fault.retry_rate <= 0.0) return post_result_t::ok;
+  if (fault.max_faults != 0 &&
+      injected_faults_.load(std::memory_order_relaxed) >= fault.max_faults)
+    return post_result_t::ok;
+  std::lock_guard<util::spinlock_t> guard(fault_lock_);
+  if (fault_rng_.uniform() >= fault.retry_rate) return post_result_t::ok;
+  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  return fault_rng_.uniform() < fault.lock_fraction
+             ? post_result_t::retry_lock
+             : post_result_t::retry_full;
+}
+
+bool ep_device_t::draw_loss() {
+  const fault_config_t& fault = fabric_->config().fault;
+  if (fault.loss_rate <= 0.0) return false;
+  std::lock_guard<util::spinlock_t> guard(fault_lock_);
+  return fault_rng_.uniform() < fault.loss_rate;
 }
 
 ep_device_t::~ep_device_t() {
@@ -71,10 +100,21 @@ post_result_t ep_device_t::post_send(int peer_rank, const void* buffer,
                                      void* user_context) {
   if (fabric_->is_dead(peer_rank) || fabric_->is_dead(fabric_->self_rank()))
     return post_result_t::peer_down;
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   if (!drain_pending(peer_rank)) return post_result_t::retry_full;
 
   const trace::span_t wire_span =
       trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+  if (draw_loss()) {
+    // The message evaporates on the wire: the local completion still fires
+    // (the data left our hands — sim loss_rate drops behave the same).
+    trace::end(wire_span, trace::kind_t::wire, wire_err_dropped, peer_rank);
+    wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    push_cqe(cqe_t{op_t::send, peer_rank, imm, size, nullptr, user_context});
+    fabric_->note_post();
+    return post_result_t::ok;
+  }
   frame_header_t header;
   header.payload_size = static_cast<uint32_t>(size);
   header.kind = static_cast<uint8_t>(frame_kind_t::send);
@@ -96,6 +136,7 @@ post_result_t ep_device_t::post_send(int peer_rank, const void* buffer,
   }
   trace::end(wire_span, trace::kind_t::wire, 0, peer_rank);
   push_cqe(cqe_t{op_t::send, peer_rank, imm, size, nullptr, user_context});
+  fabric_->note_post();
   return post_result_t::ok;
 }
 
@@ -105,10 +146,19 @@ post_result_t ep_device_t::post_write(int peer_rank, const void* local,
                                       uint32_t imm, void* user_context) {
   if (fabric_->is_dead(peer_rank) || fabric_->is_dead(fabric_->self_rank()))
     return post_result_t::peer_down;
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   if (!drain_pending(peer_rank)) return post_result_t::retry_full;
 
   const trace::span_t wire_span =
       trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+  if (draw_loss()) {
+    trace::end(wire_span, trace::kind_t::wire, wire_err_dropped, peer_rank);
+    wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    push_cqe(cqe_t{op_t::write, peer_rank, imm, size, nullptr, user_context});
+    fabric_->note_post();
+    return post_result_t::ok;
+  }
   const std::size_t chunk = fabric_->max_chunk_bytes();
   std::vector<pending_tx_t> frames;
   std::size_t done = 0;
@@ -138,6 +188,7 @@ post_result_t ep_device_t::post_write(int peer_rank, const void* local,
   } while (done < size);
   submit_frames(peer_rank, std::move(frames));
   trace::end(wire_span, trace::kind_t::wire, 0, peer_rank);
+  fabric_->note_post();
   return post_result_t::ok;
 }
 
@@ -147,6 +198,8 @@ post_result_t ep_device_t::post_read(int peer_rank, void* local,
                                      uint32_t imm, void* user_context) {
   if (fabric_->is_dead(peer_rank) || fabric_->is_dead(fabric_->self_rank()))
     return post_result_t::peer_down;
+  if (const auto fault = maybe_inject_fault(); fault != post_result_t::ok)
+    return fault;
   if (!drain_pending(peer_rank)) return post_result_t::retry_full;
 
   uint64_t cookie;
@@ -158,6 +211,15 @@ post_result_t ep_device_t::post_read(int peer_rank, void* local,
   }
   const trace::span_t wire_span =
       trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+  if (draw_loss()) {
+    // The request evaporates mid-wire. The pending-read entry stays: the op
+    // finishes through its deadline/cancel path or when the peer dies (the
+    // purge completes outstanding reads), never silently.
+    trace::end(wire_span, trace::kind_t::wire, wire_err_dropped, peer_rank);
+    wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->note_post();
+    return post_result_t::ok;
+  }
   frame_header_t header;
   header.payload_size = 0;
   header.kind = static_cast<uint8_t>(frame_kind_t::read_req);
@@ -186,6 +248,7 @@ post_result_t ep_device_t::post_read(int peer_rank, void* local,
                : post_result_t::retry_full;
   }
   trace::end(wire_span, trace::kind_t::wire, 0, peer_rank);
+  fabric_->note_post();
   return post_result_t::ok;
 }
 
@@ -381,8 +444,11 @@ void ep_device_t::accept_frame(const frame_header_t& header,
       }
       return;
     }
+    case frame_kind_t::ping:
+    case frame_kind_t::pong:
+    case frame_kind_t::poison:
     case frame_kind_t::wrap:
-      return;  // ring bookkeeping; never reaches dispatch in practice
+      return;  // control / ring bookkeeping; consumed before device routing
   }
 }
 
@@ -456,11 +522,94 @@ ep_fabric_t::ep_fabric_t(int self_rank, int nranks, const config_t& config)
     : self_(self_rank), nranks_(nranks), config_(config) {
   dead_.reset(new std::atomic<bool>[static_cast<std::size_t>(nranks)]);
   purged_.reset(new bool[static_cast<std::size_t>(nranks)]);
+  last_heard_us_.reset(
+      new std::atomic<uint64_t>[static_cast<std::size_t>(nranks)]);
+  const uint64_t now = now_us();
   for (int r = 0; r < nranks; ++r) {
     dead_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
     purged_[static_cast<std::size_t>(r)] = false;
+    last_heard_us_[static_cast<std::size_t>(r)].store(
+        now, std::memory_order_relaxed);
+  }
+  delayed_.resize(static_cast<std::size_t>(nranks));
+  // A distinct stream from the devices' (constant salt instead of a device
+  // index) so receive-side delay draws do not correlate with post faults.
+  uint64_t mix = config_.fault.seed;
+  mix ^= util::splitmix64(mix) + static_cast<uint64_t>(self_rank);
+  mix ^= util::splitmix64(mix) + 0x9e3779b97f4a7c15ull;
+  delay_rng_ = util::xoshiro256_t(mix);
+}
+
+uint64_t ep_fabric_t::now_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ep_fabric_t::note_heard(int rank) {
+  if (rank < 0 || rank >= nranks_ || rank == self_) return;
+  last_heard_us_[static_cast<std::size_t>(rank)].store(
+      now_us(), std::memory_order_relaxed);
+}
+
+void ep_fabric_t::send_ping(int peer) {
+  if (peer < 0 || peer >= nranks_ || peer == self_) return;
+  if (is_dead(peer) || is_dead(self_)) return;
+  frame_header_t header;
+  header.kind = static_cast<uint8_t>(frame_kind_t::ping);
+  header.src_rank = self_;
+  if (push_frame(peer, header, nullptr) == push_status_t::ok)
+    heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ep_fabric_t::liveness_sweep() {
+  const uint64_t timeout = config_.peer_timeout_us;
+  if (timeout == 0) return;
+  const uint64_t now = now_us();
+  const uint64_t last = last_sweep_us_;
+  last_sweep_us_ = now;
+  if (last == 0 || now - last > timeout / 2) {
+    // Our own loop stalled (first sweep, or we were the one SIGSTOPped): the
+    // staleness indicts us, not the peers — refresh instead of judging, and
+    // give everyone a full timeout to be heard again.
+    for (int r = 0; r < nranks_; ++r)
+      last_heard_us_[static_cast<std::size_t>(r)].store(
+          now, std::memory_order_relaxed);
+    return;
+  }
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == self_ || is_dead(r)) continue;
+    const uint64_t heard =
+        last_heard_us_[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed);
+    // heard can postdate this sweep's `now` sample: note_heard runs
+    // concurrently (pump / listener readiness), and on a loaded box this
+    // thread can sit preempted between sampling `now` and loading `heard`.
+    // Unsigned now - heard would wrap to ~2^64 and kill a peer that was
+    // heard microseconds ago.
+    if (heard >= now || now - heard <= timeout) continue;
+    if (on_liveness_timeout(r))
+      peers_timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
 }
+
+void ep_fabric_t::note_post() {
+  const fault_config_t& fault = config_.fault;
+  if (fault.kill_rank != self_ || fault.kill_after_ops == 0) return;
+  if (is_dead(self_)) return;
+  if (post_count_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      fault.kill_after_ops)
+    kill_rank(self_);
+}
+
+void ep_fabric_t::apply_kill_schedule() {
+  const fault_config_t& fault = config_.fault;
+  // kill_after_ops == 0: dead from launch (the sim fabric does the same).
+  if (fault.kill_rank == self_ && fault.kill_after_ops == 0) kill_rank(self_);
+}
+
+void ep_fabric_t::poison_self() { kill_rank(self_); }
 
 ep_fabric_t::~ep_fabric_t() = default;
 
@@ -478,14 +627,15 @@ std::unique_ptr<context_t> ep_fabric_t::create_context(int rank) {
       std::static_pointer_cast<ep_fabric_t>(shared_from_this()), index);
 }
 
-void ep_fabric_t::mark_dead_local(int rank) {
-  if (rank < 0 || rank >= nranks_) return;
+bool ep_fabric_t::mark_dead_local(int rank) {
+  if (rank < 0 || rank >= nranks_) return false;
   bool expected = false;
   if (!dead_[static_cast<std::size_t>(rank)].compare_exchange_strong(
           expected, true, std::memory_order_acq_rel))
-    return;
+    return false;
   death_epoch_.fetch_add(1, std::memory_order_release);
   ring_all_doorbells();
+  return true;
 }
 
 ep_fabric_t::push_status_t ep_fabric_t::push_frame_any(
@@ -501,6 +651,7 @@ ep_fabric_t::push_status_t ep_fabric_t::push_frame_any(
 void ep_fabric_t::pump_once() {
   if (!pump_lock_.try_lock()) return;
   pump(config_.poll_burst != 0 ? config_.poll_burst : 64);
+  drain_delayed();
   // A death observed since the last pump (a tombstone another process wrote,
   // a hangup, a kill_rank call) triggers the one-time per-rank purge.
   const uint64_t epoch = death_epoch();
@@ -523,8 +674,113 @@ void ep_fabric_t::pump_once() {
 void ep_fabric_t::dispatch_frame(const frame_header_t& header,
                                  const char* payload) {
   if (header.src_rank >= 0 && header.src_rank < nranks_ &&
-      header.src_rank != self_ && is_dead(header.src_rank))
-    return;  // traffic from a dead rank evaporates (counted nowhere to land)
+      header.src_rank != self_) {
+    if (is_dead(header.src_rank))
+      return;  // traffic from a dead rank evaporates (nowhere to land)
+    note_heard(header.src_rank);
+  }
+  const auto kind = static_cast<frame_kind_t>(header.kind);
+  if (kind == frame_kind_t::ping || kind == frame_kind_t::pong ||
+      kind == frame_kind_t::poison) {
+    handle_control(header);
+    return;
+  }
+  if (maybe_delay_frame(header, payload)) return;
+  route_frame(header, payload);
+}
+
+void ep_fabric_t::handle_control(const frame_header_t& header) {
+  switch (static_cast<frame_kind_t>(header.kind)) {
+    case frame_kind_t::ping: {
+      // Answer so a one-directional traffic pattern still proves both sides
+      // alive. Best-effort: a full transport just means the next ping tries.
+      const int src = header.src_rank;
+      if (src < 0 || src >= nranks_ || src == self_) return;
+      if (is_dead(src) || is_dead(self_)) return;
+      frame_header_t pong;
+      pong.kind = static_cast<uint8_t>(frame_kind_t::pong);
+      pong.src_rank = self_;
+      push_frame(src, pong, nullptr);
+      return;
+    }
+    case frame_kind_t::pong:
+      return;  // its job was done by note_heard at the front door
+    case frame_kind_t::poison:
+      // Remote kill_rank: an order to die. Shut the transport down so every
+      // peer observes the death organically.
+      poison_self();
+      return;
+    default:
+      return;
+  }
+}
+
+bool ep_fabric_t::maybe_delay_frame(const frame_header_t& header,
+                                    const char* payload) {
+  const fault_config_t& fault = config_.fault;
+  if (fault.delay_rate <= 0.0) return false;
+  const int src = header.src_rank;
+  if (src < 0 || src >= nranks_ || src == self_) return false;
+  std::lock_guard<util::spinlock_t> guard(delay_lock_);
+  auto& queue = delayed_[static_cast<std::size_t>(src)];
+  uint32_t polls = 0;
+  if (delay_rng_.uniform() < fault.delay_rate)
+    polls = fault.delay_polls != 0 ? fault.delay_polls : 1;
+  // An undelayed frame behind a held one still queues (polls 0): per-sender
+  // FIFO survives the hold.
+  if (polls == 0 && queue.empty()) return false;
+  delayed_frame_t held;
+  held.header = header;
+  if (header.payload_size != 0) {
+    held.payload.reset(new char[header.payload_size]);
+    std::memcpy(held.payload.get(), payload, header.payload_size);
+  }
+  held.polls_left = polls;
+  queue.push_back(std::move(held));
+  has_delayed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void ep_fabric_t::drain_delayed() {
+  // Pump lock held: single drainer. One hold-countdown tick per pump round,
+  // then every consecutively ready frame delivers in arrival order.
+  if (!has_delayed_.load(std::memory_order_acquire)) return;
+  bool any_left = false;
+  for (int src = 0; src < nranks_; ++src) {
+    for (;;) {
+      delayed_frame_t frame;
+      {
+        std::lock_guard<util::spinlock_t> guard(delay_lock_);
+        auto& queue = delayed_[static_cast<std::size_t>(src)];
+        if (queue.empty()) break;
+        delayed_frame_t& head = queue.front();
+        if (head.polls_left != 0) {
+          --head.polls_left;
+          any_left = true;
+          break;
+        }
+        frame = std::move(head);
+        queue.pop_front();
+      }
+      if (!is_dead(src))  // stale frames from a dead rank evaporate
+        route_frame(frame.header,
+                    frame.payload != nullptr ? frame.payload.get() : nullptr);
+    }
+  }
+  if (!any_left) {
+    std::lock_guard<util::spinlock_t> guard(delay_lock_);
+    bool any = false;
+    for (const auto& queue : delayed_)
+      if (!queue.empty()) {
+        any = true;
+        break;
+      }
+    has_delayed_.store(any, std::memory_order_release);
+  }
+}
+
+void ep_fabric_t::route_frame(const frame_header_t& header,
+                              const char* payload) {
   std::lock_guard<util::spinlock_t> guard(dev_lock_);
   const std::size_t ctx_index = header.context;
   if (ctx_index >= contexts_.size()) return;

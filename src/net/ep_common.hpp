@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "net/net.hpp"
+#include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
 namespace lci::net::detail {
@@ -55,6 +56,13 @@ enum class frame_kind_t : uint8_t {
   write = 1,
   read_req = 2,
   read_resp = 3,
+  // Control plane (fabric-consumed, never routed to a device):
+  //  * ping/pong — heartbeat liveness beacons (config_t::peer_timeout_us),
+  //  * poison — remote kill_rank: the receiver treats it as an order to die
+  //    (shuts down its transport so every peer observes the death).
+  ping = 4,
+  pong = 5,
+  poison = 6,
   // SHM ring bookkeeping (never dispatched): padding to the end of the ring.
   wrap = 0xff,
 };
@@ -115,6 +123,9 @@ class ep_device_t final : public device_t {
   uint64_t wire_dropped() const override {
     return wire_dropped_.load(std::memory_order_relaxed);
   }
+  uint64_t injected_faults() const override {
+    return injected_faults_.load(std::memory_order_relaxed);
+  }
   void set_doorbell(doorbell_t* doorbell) override;
 
   // Ingress: called by the fabric pump (and by loopback posts) with a parsed
@@ -167,6 +178,13 @@ class ep_device_t final : public device_t {
   };
 
   void push_cqe(const cqe_t& cqe);
+  // Deterministic fault injection (mirrors the sim device: the same seed mix
+  // of fault.seed / rank / context / device index, so a given seed replays
+  // the same fault schedule). maybe_inject_fault answers ok or a forced
+  // retry; draw_loss decides whether a whole posted message evaporates on
+  // the wire (local CQE still fires — the sim drop semantics).
+  post_result_t maybe_inject_fault();
+  bool draw_loss();
   // Pushes/queues every frame of a message. Precondition: the peer's pending
   // queue is empty (FIFO rule). Never fails: frames that do not fit are
   // queued; death mid-push drops the tail and completes locally.
@@ -197,6 +215,10 @@ class ep_device_t final : public device_t {
 
   std::atomic<doorbell_t*> doorbell_{nullptr};
   std::atomic<uint64_t> wire_dropped_{0};
+
+  mutable util::spinlock_t fault_lock_;
+  util::xoshiro256_t fault_rng_;  // fault_lock_ guarded
+  std::atomic<uint64_t> injected_faults_{0};
 
   friend class ep_fabric_t;
 };
@@ -239,8 +261,9 @@ class ep_fabric_t : public fabric_t,
     return death_epoch_.load(std::memory_order_acquire);
   }
   // Marks a rank dead in the local ledger and runs the device purge +
-  // doorbell storm. Idempotent.
-  void mark_dead_local(int rank);
+  // doorbell storm. Idempotent; returns true when the rank newly
+  // transitioned (the caller that won the race).
+  bool mark_dead_local(int rank);
 
   // --- transport hooks (subclass-provided) ---------------------------------
   enum class push_status_t : uint8_t { ok, full, down };
@@ -260,11 +283,41 @@ class ep_fabric_t : public fabric_t,
   // tombstone written by another process) and purges the newly dead.
   void pump_once();
 
-  // Routes a parsed frame to a local device and delivers it. Frames from
-  // dead ranks are dropped (counted on the routed device).
+  // Ingress front door: feeds the liveness ledger, consumes control frames
+  // (ping/pong/poison), applies delay_rate staging, then routes data frames
+  // to a local device. Frames from dead ranks are dropped (counted on the
+  // routed device).
   void dispatch_frame(const frame_header_t& header, const char* payload);
 
   void ring_all_doorbells();
+
+  fabric_health_t health() const override {
+    fabric_health_t h;
+    h.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+    h.peers_timed_out = peers_timed_out_.load(std::memory_order_relaxed);
+    h.backpressure_waits =
+        backpressure_waits_.load(std::memory_order_relaxed);
+    return h;
+  }
+
+  // --- liveness (config_t::peer_timeout_us, 0 = off) -----------------------
+  // Fed by every ingress frame and by transport-level signals of life (e.g.
+  // epoll readiness on a peer's socket).
+  void note_heard(int rank);
+  // Heartbeat beacon: hands a ping frame to the transport (counted in
+  // heartbeats_sent). Called from the backend listener thread.
+  void send_ping(int peer);
+  // Periodic liveness check — backend listener thread only. Applies a freeze
+  // grace: if our own loop gap exceeds timeout/2 (we were the one stopped),
+  // the ledger is stale, so it is refreshed instead of judging peers.
+  void liveness_sweep();
+  uint64_t peer_timeout_us() const { return config_.peer_timeout_us; }
+  static uint64_t now_us();
+
+  // kill_rank/kill_after_ops fault schedule: devices call note_post after
+  // each successfully posted operation; hitting the budget kills self so
+  // every peer observes a mid-run crash.
+  void note_post();
 
   // --- device registry -----------------------------------------------------
   int add_device(int context, ep_device_t* device);
@@ -285,6 +338,26 @@ class ep_fabric_t : public fabric_t,
   // dead — close/drop transport state for it.
   virtual void on_peer_dead(int rank) { (void)rank; }
 
+  // A peer exceeded the liveness timeout. Returns true when the rank newly
+  // transitioned to dead (counted in peers_timed_out). The local-ledger
+  // default fits TCP; SHM re-probes the pid and tombstones fabric-wide.
+  virtual bool on_liveness_timeout(int rank) { return mark_dead_local(rank); }
+
+  // Order-to-die from a poison control frame: shut the transport down so
+  // every peer observes the death. Default: kill_rank(self).
+  virtual void poison_self();
+
+  // Subclass ctor tail hook: honors kill_after_ops == 0 (dead from launch).
+  void apply_kill_schedule();
+
+  // SHM futex backpressure + epoch-stamp heartbeats report through these.
+  void note_backpressure_wait() {
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_heartbeat_sent() {
+    heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const int self_;
   const int nranks_;
   const config_t config_;
@@ -294,12 +367,39 @@ class ep_fabric_t : public fabric_t,
   std::size_t max_send_payload_ = SIZE_MAX;
 
  private:
+  // Receive-side delay_rate staging. A delayed frame is held as an owned
+  // copy for polls_left pump rounds; frames arriving behind it from the same
+  // sender queue after it (per-sender FIFO survives the hold).
+  struct delayed_frame_t {
+    frame_header_t header;
+    std::unique_ptr<char[]> payload;
+    uint32_t polls_left = 0;
+  };
+  // True when the frame was staged (caller must not deliver it).
+  bool maybe_delay_frame(const frame_header_t& header, const char* payload);
+  void drain_delayed();  // pump-lock held
+  void handle_control(const frame_header_t& header);
+  // The routing half of dispatch (post-liveness, post-delay).
+  void route_frame(const frame_header_t& header, const char* payload);
+
   std::unique_ptr<std::atomic<bool>[]> dead_;
   std::atomic<uint64_t> death_epoch_{0};
   uint64_t purged_epoch_ = 0;  // pump-lock guarded
   std::unique_ptr<bool[]> purged_;  // pump-lock guarded
 
   util::spinlock_t pump_lock_;
+
+  mutable util::spinlock_t delay_lock_;
+  std::vector<std::deque<delayed_frame_t>> delayed_;  // delay_lock_ guarded
+  util::xoshiro256_t delay_rng_;                      // delay_lock_ guarded
+  std::atomic<bool> has_delayed_{false};
+
+  std::unique_ptr<std::atomic<uint64_t>[]> last_heard_us_;
+  uint64_t last_sweep_us_ = 0;  // listener thread only
+  std::atomic<uint64_t> post_count_{0};
+  std::atomic<uint64_t> heartbeats_sent_{0};
+  std::atomic<uint64_t> peers_timed_out_{0};
+  std::atomic<uint64_t> backpressure_waits_{0};
 
   struct context_devices_t {
     std::vector<ep_device_t*> slots;

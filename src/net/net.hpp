@@ -114,10 +114,23 @@ struct fault_config_t {
   uint64_t kill_after_ops = 0;
   // Silent wire-drop probability per message (the sender still sees ok).
   double loss_rate = 0.0;
+  // Transport-specific faults (ignored by the sim backend):
+  //  * tcp_reset_rate — per-flush probability that a peer link is torn down
+  //    as if the connection had been reset (both sides observe peer death),
+  //  * tcp_short_write_rate — per-flush probability that only a prefix of the
+  //    staged bytes is handed to the socket (exercises partial-send resume),
+  //  * shm_ring_shrink — when nonzero, the producer-side capacity check
+  //    pretends each ring holds only this many bytes (clamped so any single
+  //    frame still fits), forcing backpressure under modest traffic.
+  double tcp_reset_rate = 0.0;
+  double tcp_short_write_rate = 0.0;
+  std::size_t shm_ring_shrink = 0;
 
   bool enabled() const {
     return retry_rate > 0.0 || send_depth != 0 || wire_depth != 0 ||
-           delay_rate > 0.0 || kill_rank >= 0 || loss_rate > 0.0;
+           delay_rate > 0.0 || kill_rank >= 0 || loss_rate > 0.0 ||
+           tcp_reset_rate > 0.0 || tcp_short_write_rate > 0.0 ||
+           shm_ring_shrink != 0;
   }
 };
 
@@ -140,6 +153,12 @@ struct config_t {
   double bandwidth_gbps = 0.0;  // 0 = infinite
   // Deterministic fault injection (off by default; see fault_config_t).
   fault_config_t fault{};
+  // Heartbeat liveness timeout for the real backends (0 = off, the default):
+  // a peer not heard from (no frames, no beacons, no shm progress-epoch
+  // advance) for this long is declared dead, feeding the same death-epoch
+  // purge a crash does. The sim backend ignores it (threads in one process
+  // cannot be partitioned). Env default: LCI_PEER_TIMEOUT_MS.
+  uint64_t peer_timeout_us = 0;
 };
 
 // Completion kinds. `remote_write` / `remote_read` are target-side
@@ -241,12 +260,23 @@ class context_t {
   virtual void deregister_memory(mr_id_t id) = 0;
 };
 
+// Transport-health statistics, read at counter-snapshot time (never reset):
+// heartbeat beacons this process emitted, peers this process declared dead by
+// liveness timeout, and producer waits on a full SHM ring (futex-backed
+// backpressure). All zero on backends without the machinery (sim).
+struct fabric_health_t {
+  uint64_t heartbeats_sent = 0;
+  uint64_t peers_timed_out = 0;
+  uint64_t backpressure_waits = 0;
+};
+
 class fabric_t {
  public:
   virtual ~fabric_t() = default;
   virtual backend_t kind() const = 0;
   virtual int nranks() const = 0;
   virtual const config_t& config() const = 0;
+  virtual fabric_health_t health() const { return {}; }
   virtual std::unique_ptr<context_t> create_context(int rank) = 0;
   // Largest single post_send payload the transport can ever carry. Sends are
   // not chunked (only write/read are), so a frame above this bound would be
@@ -255,9 +285,12 @@ class fabric_t {
   virtual std::size_t max_send_payload() const { return SIZE_MAX; }
   // Test hook: kills a rank at runtime, independent of the kill schedule.
   // Returns false if the backend cannot (or the rank is already dead).
-  // sim and shm kill any rank fabric-wide; tcp only supports killing the
-  // calling process's own rank (remote death there is a real process death,
-  // observed as a connection hangup).
+  // sim and shm kill any rank fabric-wide. tcp kills its own rank directly
+  // (sockets hang up, peers observe it); a *remote* rank is killed by sending
+  // it a poison control frame — the victim shuts its sockets down on receipt,
+  // with a local-timeout fallback at the caller in case the victim never
+  // reacts — so the call returns true once the poison is on its way, before
+  // the death is globally visible.
   virtual bool kill_rank(int rank) {
     (void)rank;
     return false;
@@ -272,6 +305,18 @@ std::shared_ptr<fabric_t> create_sim_fabric(int nranks,
 // (LCI_RANK / LCI_NRANKS; 0 / 1 when unset).
 int bootstrap_rank();
 int bootstrap_nranks();
+
+// Fault policy from the environment, overlaid on `base`: LCI_FAULT_LOSS_RATE,
+// LCI_FAULT_DELAY_RATE, LCI_FAULT_DELAY_POLLS, LCI_FAULT_RETRY_RATE,
+// LCI_FAULT_LOCK_FRACTION, LCI_FAULT_SEED, LCI_FAULT_MAX,
+// LCI_FAULT_KILL_RANK, LCI_FAULT_KILL_AFTER_OPS, LCI_FAULT_TCP_RESET_RATE,
+// LCI_FAULT_TCP_SHORT_WRITE_RATE, LCI_FAULT_SHM_RING_SHRINK. This is how a
+// launch_local.sh job (forked ranks, env contract) injects faults into the
+// real backends, where no in-process config handoff exists.
+fault_config_t fault_env_config(const fault_config_t& base = {});
+
+// LCI_PEER_TIMEOUT_MS converted to microseconds (0 when unset/empty).
+uint64_t peer_timeout_env_us();
 
 // Generic factory. For sim this is a single-rank in-process fabric (threads
 // join ranks via lci::sim::world_t instead); for shm/tcp it builds the

@@ -85,11 +85,20 @@ struct alignas(64) shm_rank_slot_t {
   std::atomic<int32_t> pid;
   std::atomic<uint32_t> tombstone;
   std::atomic<uint32_t> doorbell;
+  // Heartbeat stamp (liveness): bumped by the owner's listener thread and
+  // progress path. A pid can be alive (kill(pid,0) == 0, flock held) while
+  // the process is frozen — a stale epoch is the only tell.
+  std::atomic<uint64_t> progress_epoch;
 };
 
 struct alignas(64) shm_ring_hdr_t {
   alignas(64) std::atomic<uint64_t> head;  // consumer offset (monotonic)
   alignas(64) std::atomic<uint64_t> tail;  // producer offset (monotonic)
+  // Futex backpressure: `consumed` bumps once per pump burst that freed ring
+  // space; a producer that found the ring full parks on it (bounded wait)
+  // instead of spinning. `waiters` gates the wake syscall.
+  alignas(64) std::atomic<uint32_t> consumed;
+  std::atomic<uint32_t> waiters;
 };
 
 struct shm_seg_hdr_t {
@@ -127,9 +136,11 @@ class shm_fabric_t final : public ep_fabric_t {
     max_send_payload_ = ring_bytes_ / 2 - sizeof(frame_header_t);
     producer_locks_.reset(
         new util::spinlock_t[static_cast<std::size_t>(nranks)]);
+    epoch_cache_.reset(new uint64_t[static_cast<std::size_t>(nranks)]());
     attach();
     bootstrap::barrier("shm-attach");
     start_listener();
+    apply_kill_schedule();
   }
 
   ~shm_fabric_t() override {
@@ -160,22 +171,51 @@ class shm_fabric_t final : public ep_fabric_t {
                            const char* payload) override {
     const std::size_t need =
         align8(sizeof(frame_header_t) + header.payload_size);
-    std::lock_guard<util::spinlock_t> guard(
-        producer_locks_[static_cast<std::size_t>(peer)]);
     shm_ring_hdr_t* ring = ring_hdr(self_, peer);
-    char* data = ring_data(self_, peer);
-    const std::size_t cap = ring_bytes_;
-    uint64_t head = ring->head.load(std::memory_order_acquire);
-    uint64_t tail = ring->tail.load(std::memory_order_relaxed);
-    std::size_t off = static_cast<std::size_t>(tail) & (cap - 1);
-    std::size_t pad = 0;
-    if (need > cap - off) pad = cap - off;  // frame must not straddle the end
-    if (cap - static_cast<std::size_t>(tail - head) < pad + need) {
-      // Full. A dead consumer's ring never drains — probe it now so the
-      // bounce converts to peer_down instead of a retry livelock.
-      probe_peer(peer);
-      return is_dead(peer) ? push_status_t::down : push_status_t::full;
+    uint32_t seen;
+    {
+      std::lock_guard<util::spinlock_t> guard(
+          producer_locks_[static_cast<std::size_t>(peer)]);
+      // Loaded before the fullness check: a consumer bump between the check
+      // and the futex wait makes the wait return immediately (no lost wake).
+      seen = ring->consumed.load(std::memory_order_acquire);
+      char* data = ring_data(self_, peer);
+      const std::size_t cap = ring_bytes_;
+      // Ring-shrink fault: pretend the ring is smaller (clamped so any single
+      // frame still eventually fits — shrinking below 2*need would turn a
+      // retry_full bounce into a livelock).
+      std::size_t cap_eff = cap;
+      const std::size_t shrink = config_.fault.shm_ring_shrink;
+      if (shrink != 0) cap_eff = std::min(cap, std::max(shrink, 2 * need));
+      uint64_t head = ring->head.load(std::memory_order_acquire);
+      uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+      std::size_t off = static_cast<std::size_t>(tail) & (cap - 1);
+      std::size_t pad = 0;
+      if (need > cap - off) pad = cap - off;  // frame must not straddle the end
+      if (static_cast<std::size_t>(tail - head) + pad + need <= cap_eff)
+        return write_frame(ring, data, header, payload, peer, tail, off, pad,
+                           need);
     }
+    // Full. A dead consumer's ring never drains — probe it now so the bounce
+    // converts to peer_down instead of a retry livelock. Otherwise park on
+    // the consumer-progress word (bounded; the producer lock is released so
+    // sibling threads are not held hostage) and surface retry_full upward —
+    // deadlines and cancel still fire.
+    probe_peer(peer);
+    if (is_dead(peer)) return push_status_t::down;
+    ring->waiters.fetch_add(1, std::memory_order_acq_rel);
+    futex_wait(&ring->consumed, seen, 1);
+    ring->waiters.fetch_sub(1, std::memory_order_acq_rel);
+    note_backpressure_wait();
+    return push_status_t::full;
+  }
+
+ private:
+  // The fitting half of push_frame, still under the producer lock.
+  push_status_t write_frame(shm_ring_hdr_t* ring, char* data,
+                            const frame_header_t& header, const char* payload,
+                            int peer, uint64_t tail, std::size_t off,
+                            std::size_t pad, std::size_t need) {
     if (pad != 0) {
       if (pad >= sizeof(frame_header_t)) {
         frame_header_t wrap{};
@@ -201,7 +241,14 @@ class shm_fabric_t final : public ep_fabric_t {
   }
 
   void pump(std::size_t burst) override {
-    if (++pump_calls_ % 4096 == 0) probe_all_peers();
+    if (++pump_calls_ % 4096 == 0) {
+      probe_all_peers();
+      // The progress path also stamps the heartbeat epoch, so a process
+      // whose listener is starved but is otherwise making progress still
+      // beacons life to its peers.
+      if (peer_timeout_us() != 0)
+        slot(self_)->progress_epoch.fetch_add(1, std::memory_order_release);
+    }
     std::vector<char> copy;
     for (int src = 0; src < nranks_; ++src) {
       if (src == self_) continue;
@@ -210,6 +257,7 @@ class shm_fabric_t final : public ep_fabric_t {
       char* data = ring_data(src, self_);
       const std::size_t cap = ring_bytes_;
       uint64_t head = ring->head.load(std::memory_order_relaxed);
+      const uint64_t head_at_entry = head;
       for (std::size_t n = 0; n < burst; ++n) {
         const uint64_t tail = ring->tail.load(std::memory_order_acquire);
         if (head == tail) break;
@@ -241,6 +289,13 @@ class shm_fabric_t final : public ep_fabric_t {
         head += need;
         dispatch_frame(header, copy.data());
         ring->head.store(head, std::memory_order_release);
+      }
+      if (head != head_at_entry) {
+        // Space was freed: bump the consumer-progress word and wake any
+        // producer parked on the full ring.
+        ring->consumed.fetch_add(1, std::memory_order_release);
+        if (ring->waiters.load(std::memory_order_acquire) != 0)
+          futex_wake_all(&ring->consumed);
       }
     }
   }
@@ -305,6 +360,33 @@ class shm_fabric_t final : public ep_fabric_t {
     for (int r = 0; r < nranks_; ++r) probe_peer(r);
   }
 
+  // Heartbeats (listener thread): stamp our own epoch, harvest peers' epoch
+  // advances into the last-heard ledger, then let the generic sweep judge.
+  void heartbeat_tick() {
+    slot(self_)->progress_epoch.fetch_add(1, std::memory_order_release);
+    note_heartbeat_sent();
+    for (int r = 0; r < nranks_; ++r) {
+      if (r == self_ || is_dead(r)) continue;
+      const uint64_t e =
+          slot(r)->progress_epoch.load(std::memory_order_acquire);
+      if (e != epoch_cache_[static_cast<std::size_t>(r)]) {
+        epoch_cache_[static_cast<std::size_t>(r)] = e;
+        note_heard(r);
+      }
+    }
+    liveness_sweep();
+  }
+
+  bool on_liveness_timeout(int rank) override {
+    // Definitive probes first: a pid/flock-dead peer tombstones through
+    // probe_peer and is an organic death, not a timeout.
+    probe_peer(rank);
+    if (is_dead(rank)) return false;
+    // pid alive, lock held, epoch frozen: wedged. Tombstone fabric-wide so
+    // every survivor folds it through the death-epoch purge.
+    return tombstone(rank);
+  }
+
   void attach() {
     const std::size_t hdr_bytes = align_up(sizeof(shm_seg_hdr_t), 64);
     const std::size_t slots_bytes =
@@ -351,11 +433,14 @@ class shm_fabric_t final : public ep_fabric_t {
         slot(r)->pid.store(0, std::memory_order_relaxed);
         slot(r)->tombstone.store(0, std::memory_order_relaxed);
         slot(r)->doorbell.store(0, std::memory_order_relaxed);
+        slot(r)->progress_epoch.store(0, std::memory_order_relaxed);
       }
       for (int s = 0; s < nranks_; ++s)
         for (int d = 0; d < nranks_; ++d) {
           ring_hdr(s, d)->head.store(0, std::memory_order_relaxed);
           ring_hdr(s, d)->tail.store(0, std::memory_order_relaxed);
+          ring_hdr(s, d)->consumed.store(0, std::memory_order_relaxed);
+          ring_hdr(s, d)->waiters.store(0, std::memory_order_relaxed);
         }
       hdr->ready.store(1, std::memory_order_release);
     } else {
@@ -392,8 +477,15 @@ class shm_fabric_t final : public ep_fabric_t {
   void start_listener() {
     listener_ = std::thread([this] {
       uint32_t seen = slot(self_)->doorbell.load(std::memory_order_acquire);
+      const uint64_t timeout_us = peer_timeout_us();
+      // With heartbeats on, wake often enough to stamp/judge well inside the
+      // timeout; the sweep's freeze grace handles our own stalls.
+      long wait_ms = 200;
+      if (timeout_us != 0)
+        wait_ms = std::max<long>(
+            1, std::min<long>(200, static_cast<long>(timeout_us / 4000)));
       while (!listener_stop_.load(std::memory_order_acquire)) {
-        futex_wait(&slot(self_)->doorbell, seen, 200);
+        futex_wait(&slot(self_)->doorbell, seen, wait_ms);
         const uint32_t now =
             slot(self_)->doorbell.load(std::memory_order_acquire);
         if (now != seen) {
@@ -402,6 +494,7 @@ class shm_fabric_t final : public ep_fabric_t {
         } else {
           probe_all_peers();
         }
+        if (timeout_us != 0) heartbeat_tick();
       }
     });
   }
@@ -423,6 +516,7 @@ class shm_fabric_t final : public ep_fabric_t {
   std::string lock_dir_;
   int lock_fd_ = -1;
   std::unique_ptr<util::spinlock_t[]> producer_locks_;
+  std::unique_ptr<uint64_t[]> epoch_cache_;  // listener thread only
   uint64_t pump_calls_ = 0;  // pump-lock guarded
   std::thread listener_;
   std::atomic<bool> listener_stop_{false};

@@ -106,9 +106,21 @@ class tcp_fabric_t final : public ep_fabric_t {
     // its txbuf, its write/read chunks by max_chunk_bytes). Anything above
     // this on the wire is a corrupt length prefix, not a big message.
     rx_frame_limit_ = std::max(max_chunk_bytes_, txbuf_cap_);
+    poison_deadline_us_.reset(
+        new std::atomic<uint64_t>[static_cast<std::size_t>(nranks)]);
+    for (int r = 0; r < nranks; ++r)
+      poison_deadline_us_[static_cast<std::size_t>(r)].store(
+          0, std::memory_order_relaxed);
+    // Transport-fault stream (reset / short-write): per-process, distinct
+    // salt from the device streams so draws do not correlate.
+    uint64_t mix = config.fault.seed;
+    mix ^= util::splitmix64(mix) + static_cast<uint64_t>(self_rank);
+    mix ^= util::splitmix64(mix) + 0xa5a5c3c3e1e10f0full;
+    tfault_rng_ = util::xoshiro256_t(mix);
     connect_mesh();
     setup_epoll();
     start_listener();
+    apply_kill_schedule();
   }
 
   ~tcp_fabric_t() override {
@@ -123,13 +135,30 @@ class tcp_fabric_t final : public ep_fabric_t {
   backend_t kind() const override { return backend_t::tcp; }
 
   bool kill_rank(int rank) override {
-    // Remote death on TCP is a real process death; the only rank this
-    // process can take down is itself (sockets hang up, peers observe it).
-    if (rank != self_ || is_dead(rank)) return false;
-    for (int r = 0; r < nranks_; ++r)
-      if (peers_[static_cast<std::size_t>(r)].fd >= 0)
-        ::shutdown(peers_[static_cast<std::size_t>(r)].fd, SHUT_RDWR);
-    mark_dead_local(self_);
+    if (rank < 0 || rank >= nranks_ || is_dead(rank)) return false;
+    if (rank == self_) {
+      // Self-kill: shut every socket down so all peers observe a hangup,
+      // exactly like a real crash.
+      for (int r = 0; r < nranks_; ++r)
+        if (peers_[static_cast<std::size_t>(r)].fd >= 0)
+          ::shutdown(peers_[static_cast<std::size_t>(r)].fd, SHUT_RDWR);
+      mark_dead_local(self_);
+      return true;
+    }
+    // Remote kill: order the victim to die with a poison frame — it shuts
+    // its transport down and every peer observes the death organically. A
+    // wedged victim that never reads the poison is covered by the local
+    // fallback deadline (checked by the listener), so this rank converges
+    // either way; other survivors converge via EOF or their own liveness
+    // timeout.
+    frame_header_t poison;
+    poison.kind = static_cast<uint8_t>(frame_kind_t::poison);
+    poison.src_rank = self_;
+    if (push_frame(rank, poison, nullptr) == push_status_t::down) return false;
+    const uint64_t fallback =
+        std::max<uint64_t>(peer_timeout_us(), 1000000);  // >= 1s
+    poison_deadline_us_[static_cast<std::size_t>(rank)].store(
+        now_us() + fallback, std::memory_order_release);
     return true;
   }
 
@@ -210,7 +239,25 @@ class tcp_fabric_t final : public ep_fabric_t {
     std::size_t rx_pos = 0;            // parse offset into rx
   };
 
+  // One draw from the per-process transport-fault stream.
+  bool tfault_draw(double rate) {
+    if (rate <= 0.0) return false;
+    std::lock_guard<util::spinlock_t> guard(tfault_lock_);
+    return tfault_rng_.uniform() < rate;
+  }
+
   void flush_tx_locked(int peer, peer_t& p) {
+    if (!p.tx.empty() && tfault_draw(config_.fault.tcp_reset_rate)) {
+      // Injected connection reset: sever the pair link. This side declares
+      // the peer dead; the peer observes EOF and declares us dead — both
+      // sides exercise the organic connection-death path.
+      ::shutdown(p.fd, SHUT_RDWR);
+      mark_dead_local(peer);
+      p.tx.clear();
+      p.tx_bytes = 0;
+      p.tx_front_off = 0;
+      return;
+    }
     while (!p.tx.empty()) {
       struct iovec iov[8];
       int iovcnt = 0;
@@ -220,6 +267,15 @@ class tcp_fabric_t final : public ep_fabric_t {
         iov[iovcnt].iov_len = it->size() - off;
         ++iovcnt;
         off = 0;
+      }
+      bool injected_short = false;
+      if (tfault_draw(config_.fault.tcp_short_write_rate)) {
+        // Injected short write: hand the kernel only a prefix of the first
+        // buffer, leaving a mid-frame partial in the staging queue — the
+        // tx_front_off resume logic must reassemble it transparently.
+        injected_short = true;
+        iovcnt = 1;
+        iov[0].iov_len = std::max<std::size_t>(1, iov[0].iov_len / 2);
       }
       struct msghdr msg{};
       msg.msg_iov = iov;
@@ -248,6 +304,7 @@ class tcp_fabric_t final : public ep_fabric_t {
           left = 0;
         }
       }
+      if (injected_short) return;  // leave the tail for the next flush
     }
   }
 
@@ -340,7 +397,8 @@ class tcp_fabric_t final : public ep_fabric_t {
         std::chrono::steady_clock::now() + std::chrono::seconds(30);
     // Connect to every lower rank, announcing who we are.
     for (int r = 0; r < self_; ++r) {
-      const int port = std::atoi(bootstrap::get("tcp." + std::to_string(r)).c_str());
+      const int port = std::atoi(
+          bootstrap::get("tcp." + std::to_string(r), 30000, r).c_str());
       int fd = -1;
       for (;;) {
         fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -424,16 +482,56 @@ class tcp_fabric_t final : public ep_fabric_t {
   void start_listener() {
     listener_ = std::thread([this] {
       struct epoll_event events[16];
+      const uint64_t timeout_us = peer_timeout_us();
+      // With heartbeats on, wake often enough to ping and judge well inside
+      // the timeout; the sweep's freeze grace handles our own stalls.
+      int wait_ms = 200;
+      if (timeout_us != 0)
+        wait_ms = std::max(
+            1, std::min(200, static_cast<int>(timeout_us / 4000)));
+      uint64_t next_ping_us = 0;
       while (!listener_stop_.load(std::memory_order_acquire)) {
-        const int n = ::epoll_wait(wake_epfd_, events, 16, 200);
+        const int n = ::epoll_wait(wake_epfd_, events, 16, wait_ms);
         if (listener_stop_.load(std::memory_order_acquire)) break;
-        if (n != 0) {
+        if (n > 0) {
           uint64_t junk;
           (void)::read(wake_eventfd_, &junk, sizeof(junk));
+          // Socket readiness is proof of life for that socket's owner —
+          // cheaper than waiting for the pump to dispatch its frames.
+          for (int i = 0; i < n; ++i) {
+            const uint32_t tag = events[i].data.u32;
+            if (tag != static_cast<uint32_t>(-1))
+              note_heard(static_cast<int>(tag));
+          }
         }
         ring_all_doorbells();
+        if (timeout_us != 0) {
+          // Interval-gate the pings: the loop wakes on every socket edge, and
+          // an arriving ping is itself an edge — ping-per-wakeup turns two
+          // listeners into a ping storm at socket RTT rate.
+          const uint64_t now = now_us();
+          if (now >= next_ping_us) {
+            for (int r = 0; r < nranks_; ++r)
+              if (r != self_ && !is_dead(r)) send_ping(r);
+            next_ping_us = now + std::max<uint64_t>(timeout_us / 4, 1000);
+          }
+          liveness_sweep();
+        }
+        check_poison_deadlines();
       }
     });
+  }
+
+  // A poisoned victim that never reads its poison (wedged) is declared dead
+  // here when the fallback deadline passes.
+  void check_poison_deadlines() {
+    for (int r = 0; r < nranks_; ++r) {
+      const uint64_t deadline =
+          poison_deadline_us_[static_cast<std::size_t>(r)].load(
+              std::memory_order_acquire);
+      if (deadline == 0 || is_dead(r)) continue;
+      if (now_us() >= deadline) mark_dead_local(r);
+    }
   }
 
   void stop_listener() {
@@ -446,6 +544,9 @@ class tcp_fabric_t final : public ep_fabric_t {
   const std::size_t txbuf_cap_;
   std::size_t rx_frame_limit_ = 0;
   std::vector<peer_t> peers_;
+  std::unique_ptr<std::atomic<uint64_t>[]> poison_deadline_us_;
+  mutable util::spinlock_t tfault_lock_;
+  util::xoshiro256_t tfault_rng_;  // tfault_lock_ guarded
   int pump_epfd_ = -1;
   int wake_epfd_ = -1;
   int wake_eventfd_ = -1;
