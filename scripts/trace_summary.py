@@ -15,6 +15,14 @@ exception: the net layer allocates them their own ids (a coalesced batch
 is one wire message carrying many ops), so wire hops are summarized as
 their own section rather than as a per-op column.
 
+With device_shards > 1 each shard is its own net device, and the wire
+span's *begin* event records the source device index in its tag field
+(the end event does not repeat it — the join takes the shard from the
+begin). Those spans are additionally broken down per source shard, which
+is how an affinity-routing imbalance shows up: one hot shard carrying
+most hops (a broken steer) versus an even spread (threads landed on
+their own endpoints).
+
 Usage:
   scripts/trace_summary.py TRACE.json [--json]
 """
@@ -50,13 +58,16 @@ def stats(vals):
 
 
 def load_spans(path):
-    """Returns (spans, instants, unpaired): spans maps op id -> kind ->
-    list of durations in us; instants maps name -> count."""
+    """Returns (spans, wire_by_shard, instants, unpaired): spans maps op id
+    -> kind -> list of durations in us; wire_by_shard maps the wire begin
+    event's tag (the source device/shard index) -> list of durations;
+    instants maps name -> count."""
     with open(path) as f:
         doc = json.load(f)
     events = doc.get("traceEvents", [])
-    open_begins = {}   # (id, name) -> stack of begin ts
+    open_begins = {}   # (id, name) -> stack of (begin ts, begin tag)
     spans = collections.defaultdict(lambda: collections.defaultdict(list))
+    wire_by_shard = collections.defaultdict(list)
     instants = collections.Counter()
     unpaired = 0
     for ev in sorted(events, key=lambda e: e.get("ts", 0.0)):
@@ -69,17 +80,23 @@ def load_spans(path):
             continue
         key = (ev.get("id"), name)
         if phase == "b":
-            open_begins.setdefault(key, []).append(ev.get("ts", 0.0))
+            tag = (ev.get("args") or {}).get("tag")
+            open_begins.setdefault(key, []).append((ev.get("ts", 0.0), tag))
         else:
             stack = open_begins.get(key)
             if not stack:
                 unpaired += 1
                 continue
-            begin_ts = stack.pop()
+            begin_ts, begin_tag = stack.pop()
             op_id = int(str(ev.get("id")), 16)
-            spans[op_id][name].append(ev.get("ts", 0.0) - begin_ts)
+            duration = ev.get("ts", 0.0) - begin_ts
+            spans[op_id][name].append(duration)
+            # The source shard rides only on the begin event (the end event
+            # reports the wire error code in place of it).
+            if name == "wire" and begin_tag is not None:
+                wire_by_shard[begin_tag].append(duration)
     unpaired += sum(len(s) for s in open_begins.values())
-    return spans, instants, unpaired
+    return spans, wire_by_shard, instants, unpaired
 
 
 def summarize(spans):
@@ -114,7 +131,8 @@ def print_row(name, s):
           f"{s['max_us']:>10.2f}")
 
 
-def print_table(summary, wire, instants, unpaired, unclassified):
+def print_table(summary, wire, wire_by_shard, instants, unpaired,
+                unclassified):
     header = (f"  {'stage':<12}{'count':>8}{'mean_us':>10}{'p50_us':>10}"
               f"{'p99_us':>10}{'max_us':>10}")
     cols = ["total"] + list(STAGE_KINDS)
@@ -133,6 +151,17 @@ def print_table(summary, wire, instants, unpaired, unclassified):
         print(f"\nwire hops (one per message; a batch is one message):")
         print(header)
         print_row("wire", wire)
+    if wire_by_shard and len(wire_by_shard) > 1:
+        # Only worth a section when there is more than one source device:
+        # the spread (or skew) across shards is the signal.
+        total = sum(len(v) for v in wire_by_shard.values())
+        print(f"\nwire hops by source shard (device_shards routing):")
+        print(header)
+        for shard in sorted(wire_by_shard):
+            s = stats(wire_by_shard[shard])
+            share = s["count"] / total if total else 0.0
+            print_row(f"shard {shard}", s)
+            print(f"  {'':<12}{share:>7.0%} of hops")
     if instants:
         print("\ninstants:")
         for name in INSTANT_KINDS:
@@ -152,7 +181,7 @@ def main():
     parser.add_argument("--json", action="store_true",
                         help="machine-readable output")
     args = parser.parse_args()
-    spans, instants, unpaired = load_spans(args.trace)
+    spans, wire_by_shard, instants, unpaired = load_spans(args.trace)
     summary, wire, unclassified = summarize(spans)
     if not summary:
         print("no op-lifecycle spans found (was tracing on?)",
@@ -160,12 +189,15 @@ def main():
         return 1
     if args.json:
         json.dump({"ops": summary, "wire": wire,
+                   "wire_by_shard": {str(k): stats(v)
+                                     for k, v in wire_by_shard.items()},
                    "instants": dict(instants), "unpaired": unpaired,
                    "unclassified": unclassified},
                   sys.stdout, indent=1, sort_keys=True)
         print()
     else:
-        print_table(summary, wire, instants, unpaired, unclassified)
+        print_table(summary, wire, wire_by_shard, instants, unpaired,
+                    unclassified)
     return 0
 
 

@@ -389,12 +389,30 @@ class device_impl_t {
     if (n == 1) return 0;
     const int pin = thread_shard_hint();
     if (pin >= 0) return static_cast<std::size_t>(pin) % n;
-    uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(rank)) << 32) |
-                 static_cast<uint64_t>(static_cast<uint32_t>(tag));
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(rank)) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(tag));
+    // TLS memo of the last hashed route: an unpinned thread usually posts a
+    // run of operations on one (rank, tag) stream, so the mix+mod is paid
+    // once per stream change, not per post. Keyed on the shard count too —
+    // one process can hold devices with different shard counts.
+    struct route_cache_t {
+      uint64_t key;
+      std::size_t n;
+      std::size_t shard;
+      bool valid;
+    };
+    thread_local route_cache_t cache{};
+    if (cache.valid && cache.key == key && cache.n == n) {
+      counters_->add(counter_id_t::route_cache_hits);
+      return cache.shard;
+    }
+    uint64_t h = key;
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdull;
     h ^= h >> 33;
-    return static_cast<std::size_t>(h % n);
+    cache = route_cache_t{key, n, static_cast<std::size_t>(h % n), true};
+    return cache.shard;
   }
   net::device_t& net_for(int rank, tag_t tag) noexcept {
     return net(route_shard(rank, tag));
@@ -519,6 +537,9 @@ class device_impl_t {
                           errorcode_t code);
 
   runtime_impl_t* const runtime_;
+  // Cached so header-inline paths (route_shard) can count without the
+  // complete runtime_impl_t type; set in the constructor.
+  counter_block_t* counters_ = nullptr;
   const std::size_t prepost_depth_;
   const bool auto_progress_;
   doorbell_impl_t doorbell_;

@@ -69,6 +69,15 @@ class device_t {
   virtual bool do_progress() = 0;
 };
 
+// Backend-health counters surfaced for benchmarks: zero on backends that
+// have no equivalent (mpi, gex). retry_lock counts try-lock misses inside
+// the backend's progress/posting paths — a lock-free receive path should
+// hold it at zero.
+struct counters_t {
+  uint64_t retry_lock = 0;
+  uint64_t route_cache_hits = 0;
+};
+
 class context_t {
  public:
   virtual ~context_t() = default;
@@ -83,6 +92,9 @@ class context_t {
   // may skip do_progress() entirely; poll_send/poll_recv alone complete
   // traffic. do_progress() stays legal (mixed mode).
   virtual bool auto_progress() const { return false; }
+  // Snapshot of the backend's health counters (approximate under
+  // concurrency, like the underlying lci counters).
+  virtual counters_t counters() const { return {}; }
 };
 
 struct config_t {

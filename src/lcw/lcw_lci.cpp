@@ -148,6 +148,13 @@ class lci_context_t final : public context_t {
   }
   bool supports_send_recv() const override { return true; }
   bool auto_progress() const override { return auto_progress_; }
+  counters_t counters() const override {
+    const lci::counters_t c = lci::get_counters(runtime_);
+    counters_t out;
+    out.retry_lock = c.retry_lock;
+    out.route_cache_hits = c.route_cache_hits;
+    return out;
+  }
 
  private:
   lci::runtime_t runtime_{};

@@ -68,7 +68,42 @@ bool ep_device_t::is_peer_down(int rank) const {
 
 uint64_t ep_device_t::death_epoch() const { return fabric_->death_epoch(); }
 
+void ep_device_t::set_single_consumer(bool enable) {
+  if (!enable) {
+    mpsc_cq_.reset();
+    return;
+  }
+  if (mpsc_cq_) return;
+  const std::size_t cap = std::min<std::size_t>(
+      std::max<std::size_t>(fabric_->config().cq_depth, 1024), 8192);
+  mpsc_cq_ = std::make_unique<util::mpsc_queue_t<cqe_t>>(cap);
+}
+
 void ep_device_t::push_cqe(const cqe_t& cqe) {
+  if (mpsc_cq_) {
+    // Fast path: one Vyukov push, no lock. The spill opens only when the
+    // ring fills; once open, every push detours through it (under cq_lock_)
+    // until the consumer drains it — that keeps per-producer FIFO intact,
+    // which is the order non-overtaking needs (one sender's frames are
+    // always dispatched by one thread).
+    if (!spilled_.load(std::memory_order_relaxed) && mpsc_cq_->try_push(cqe)) {
+      ring_doorbell();
+      return;
+    }
+    {
+      std::lock_guard<util::spinlock_t> guard(cq_lock_);
+      // Re-check under the lock: the consumer clears spilled_ under
+      // cq_lock_, so the flag is authoritative here. A racing ring slot may
+      // also have freed up.
+      if (spilled_.load(std::memory_order_relaxed) ||
+          !mpsc_cq_->try_push(cqe)) {
+        spilled_.store(true, std::memory_order_relaxed);
+        cq_.push_back(cqe);
+      }
+    }
+    ring_doorbell();
+    return;
+  }
   {
     std::lock_guard<util::spinlock_t> guard(cq_lock_);
     cq_.push_back(cqe);
@@ -332,6 +367,32 @@ poll_result_t ep_device_t::poll_cq(cqe_t* out, std::size_t max) {
   fabric_->pump_once();
   drain_all_pending();
   poll_result_t result;
+  if (mpsc_cq_) {
+    // Empty fast path after the pump: two relaxed loads, no claim CAS —
+    // this is what makes a progress loop over N mostly-idle shards cheap.
+    if (mpsc_cq_->empty_approx() && !spilled_.load(std::memory_order_relaxed))
+      return result;
+    auto claim = mpsc_cq_->try_claim_consumer();
+    if (!claim) return result;  // another thread is consuming this round
+    while (result.count < max) {
+      auto cqe = mpsc_cq_->try_pop();
+      if (!cqe) break;
+      out[result.count++] = *cqe;
+    }
+    // Ring drained to empty (all ring entries predate all spill entries, so
+    // this order preserves FIFO): now serve the spill. While spilled_ is
+    // set no producer pushes the ring, so it stays empty across this drain;
+    // clearing the flag under cq_lock_ hands producers the ring back.
+    if (result.count < max && spilled_.load(std::memory_order_relaxed)) {
+      std::lock_guard<util::spinlock_t> guard(cq_lock_);
+      while (result.count < max && !cq_.empty()) {
+        out[result.count++] = cq_.front();
+        cq_.pop_front();
+      }
+      if (cq_.empty()) spilled_.store(false, std::memory_order_relaxed);
+    }
+    return result;
+  }
   std::lock_guard<util::spinlock_t> guard(cq_lock_);
   while (result.count < max && !cq_.empty()) {
     out[result.count++] = cq_.front();
@@ -621,7 +682,8 @@ std::unique_ptr<context_t> ep_fabric_t::create_context(int rank) {
   {
     std::lock_guard<util::spinlock_t> guard(dev_lock_);
     index = next_context_++;
-    contexts_.push_back(std::make_unique<context_devices_t>());
+    context_storage_.push_back(std::make_unique<context_devices_t>());
+    contexts_.push_back(context_storage_.back().get());
   }
   return std::make_unique<ep_context_t>(
       std::static_pointer_cast<ep_fabric_t>(shared_from_this()), index);
@@ -661,9 +723,11 @@ void ep_fabric_t::pump_once() {
       purged_[static_cast<std::size_t>(r)] = true;
       on_peer_dead(r);
       std::lock_guard<util::spinlock_t> guard(dev_lock_);
-      for (const auto& ctx : contexts_)
-        for (ep_device_t* device : ctx->slots)
-          if (device != nullptr) device->purge_peer(r);
+      for (const auto& ctx : context_storage_) {
+        const std::size_t n = ctx->slots.size();
+        for (std::size_t i = 0; i < n; ++i)
+          if (ep_device_t* device = ctx->slots.get(i)) device->purge_peer(r);
+      }
     }
     purged_epoch_ = epoch;
     ring_all_doorbells();
@@ -781,45 +845,69 @@ void ep_fabric_t::drain_delayed() {
 
 void ep_fabric_t::route_frame(const frame_header_t& header,
                               const char* payload) {
-  std::lock_guard<util::spinlock_t> guard(dev_lock_);
+  // Lock-free steering: index-mod pick the destination shard's device and
+  // hand it the frame without dev_lock_ — concurrent routers (the pumper
+  // plus any loopback poster) deliver in parallel instead of serializing
+  // behind one lock across the payload memcpy. The seq_cst ordering pairs
+  // with remove_device's fence: either the remover sees our router count
+  // (and waits), or we see its nulled slot.
+  routers_.fetch_add(1, std::memory_order_seq_cst);
   const std::size_t ctx_index = header.context;
-  if (ctx_index >= contexts_.size()) return;
-  const auto& slots = contexts_[ctx_index]->slots;
-  const std::size_t n = slots.size();
-  if (n == 0) return;
-  const std::size_t start = static_cast<std::size_t>(header.src_device) % n;
-  for (std::size_t k = 0; k < n; ++k) {
-    if (ep_device_t* device = slots[(start + k) % n]) {
-      device->accept_frame(header, payload);
-      return;
+  if (ctx_index < contexts_.size()) {
+    if (context_devices_t* ctx = contexts_.get(ctx_index)) {
+      const std::size_t n = ctx->slots.size();
+      if (n != 0) {
+        const std::size_t start =
+            static_cast<std::size_t>(header.src_device) % n;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (ep_device_t* device = ctx->slots.get((start + k) % n)) {
+            device->accept_frame(header, payload);
+            break;
+          }
+        }
+      }
     }
   }
+  routers_.fetch_sub(1, std::memory_order_release);
 }
 
 void ep_fabric_t::ring_all_doorbells() {
   std::lock_guard<util::spinlock_t> guard(dev_lock_);
-  for (const auto& ctx : contexts_)
-    for (ep_device_t* device : ctx->slots)
-      if (device != nullptr) device->ring_doorbell();
+  const std::size_t nctx = contexts_.size();
+  for (std::size_t c = 0; c < nctx; ++c) {
+    context_devices_t* ctx = contexts_.get(c);
+    if (ctx == nullptr) continue;
+    const std::size_t n = ctx->slots.size();
+    for (std::size_t i = 0; i < n; ++i)
+      if (ep_device_t* device = ctx->slots.get(i)) device->ring_doorbell();
+  }
 }
 
 int ep_fabric_t::add_device(int context, ep_device_t* device) {
   std::lock_guard<util::spinlock_t> guard(dev_lock_);
-  auto& slots = contexts_.at(static_cast<std::size_t>(context))->slots;
+  auto& slots = context_storage_.at(static_cast<std::size_t>(context))->slots;
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i] == nullptr) {
-      slots[i] = device;
+    if (slots.get(i) == nullptr) {
+      slots.put(i, device);
       return static_cast<int>(i);
     }
   }
-  slots.push_back(device);
-  return static_cast<int>(slots.size() - 1);
+  return static_cast<int>(slots.push_back(device));
 }
 
 void ep_fabric_t::remove_device(int context, int index) {
-  std::lock_guard<util::spinlock_t> guard(dev_lock_);
-  contexts_.at(static_cast<std::size_t>(context))
-      ->slots[static_cast<std::size_t>(index)] = nullptr;
+  {
+    std::lock_guard<util::spinlock_t> guard(dev_lock_);
+    context_storage_.at(static_cast<std::size_t>(context))
+        ->slots.put(static_cast<std::size_t>(index), nullptr);
+  }
+  // Quiesce: a route_frame that read the pointer before the null landed may
+  // still be inside accept_frame — wait it out (teardown-rate path). The
+  // fence orders our null store before the routers_ reads, pairing with the
+  // seq_cst increment in route_frame.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  while (routers_.load(std::memory_order_acquire) != 0) {
+  }
 }
 
 mr_id_t ep_fabric_t::register_memory(void* base, std::size_t size) {

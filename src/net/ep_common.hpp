@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "net/net.hpp"
+#include "util/mpmc_array.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
@@ -143,6 +145,15 @@ class ep_device_t final : public device_t {
 
   int context() const { return context_; }
 
+  // Single-consumer CQ mode (receive-path sharding; see net.hpp). Setup-time
+  // only — call before any traffic reaches the device. The lock-model CQ
+  // deque becomes an overflow spill behind a bounded lock-free MPSC ring:
+  // producers never spin (the CQ stays logically unbounded) and per-producer
+  // FIFO — the order that matters for non-overtaking, since one sender's
+  // frames are always dispatched by one thread — is preserved by routing
+  // *every* push to the spill once it opens, until the consumer drains it.
+  void set_single_consumer(bool enable) override;
+
  private:
   struct prepost_t {
     void* buffer = nullptr;
@@ -198,8 +209,13 @@ class ep_device_t final : public device_t {
   const int context_;
   int index_ = -1;
 
+  // Legacy mode: cq_ is the CQ (cq_lock_ per push/poll). MPSC mode
+  // (mpsc_cq_ != null): cq_ is the overflow spill, spilled_ tells producers
+  // the spill is open and consumers that it needs draining.
   mutable util::spinlock_t cq_lock_;
   std::deque<cqe_t> cq_;
+  std::unique_ptr<util::mpsc_queue_t<cqe_t>> mpsc_cq_;
+  std::atomic<bool> spilled_{false};
 
   mutable util::spinlock_t srq_lock_;
   std::deque<prepost_t> srq_;
@@ -401,11 +417,22 @@ class ep_fabric_t : public fabric_t,
   std::atomic<uint64_t> peers_timed_out_{0};
   std::atomic<uint64_t> backpressure_waits_{0};
 
+  // Steering table: per-context device slots readable lock-free (the same
+  // publish/null-slot pattern as the sim fabric), so route_frame lands a
+  // frame on the destination shard's device without taking dev_lock_ — the
+  // old code serialized every ingress frame *and its payload memcpy* behind
+  // that lock. dev_lock_ still serializes mutation (add/remove/create).
+  // Removal safety: remove_device nulls the slot, then spins until
+  // routers_ == 0, so no route that could have read the pointer is still in
+  // accept_frame when the device dies (quiescence, not hazard pointers —
+  // removal is teardown-rate).
   struct context_devices_t {
-    std::vector<ep_device_t*> slots;
+    util::mpmc_array_t<ep_device_t*> slots{8};
   };
   mutable util::spinlock_t dev_lock_;
-  std::vector<std::unique_ptr<context_devices_t>> contexts_;
+  util::mpmc_array_t<context_devices_t*> contexts_{8};
+  std::vector<std::unique_ptr<context_devices_t>> context_storage_;  // dev_lock_
+  std::atomic<std::size_t> routers_{0};  // in-flight lock-free route_frames
   int next_context_ = 0;  // dev_lock_ guarded
 
   mutable util::spinlock_t mr_lock_;

@@ -245,6 +245,16 @@ class device_t {
   // outlive the device or be cleared before it dies; backends without wakeup
   // support may ignore it (owners fall back to bounded sleeps).
   virtual void set_doorbell(doorbell_t* doorbell) { (void)doorbell; }
+
+  // Single-consumer completion-queue mode (opt-in). An owner that guarantees
+  // at most one thread drains this device's CQ at a time — e.g. a sharded
+  // device whose progress loop claims each shard's CQ through a cursor — may
+  // enable this during setup, before any traffic flows. Backends that honour
+  // it replace the lock-model CQ lock with a bounded lock-free MPSC queue: a
+  // CAS-claimed consumer, lock-free producers, and an RMW-free empty fast
+  // path for idle polls. Backends without such a mode ignore the call, and
+  // the default-off state is bit-identical to the pre-MPSC behavior.
+  virtual void set_single_consumer(bool enable) { (void)enable; }
 };
 
 class context_t {

@@ -51,6 +51,41 @@ sim_device_t::~sim_device_t() {
   fabric_->unregister_device(rank_, context_, index_);
 }
 
+void sim_device_t::set_single_consumer(bool enable) {
+  if (!enable) {
+    mpsc_cq_.reset();
+    return;
+  }
+  if (mpsc_cq_) return;
+  // Bounded by design; clamped so a deep configured cq_depth does not turn
+  // into megabytes of ring per shard. Overflow backpressures through
+  // send_depth_limit() (posts) and the delivery-loop room check (wire).
+  const std::size_t cap =
+      std::min<std::size_t>(std::max<std::size_t>(fabric_->config().cq_depth,
+                                                  1024),
+                            8192);
+  mpsc_cq_ = std::make_unique<util::mpsc_queue_t<cqe_t>>(cap);
+}
+
+void sim_device_t::push_cqe(cqe_t cqe) {
+  if (mpsc_cq_) {
+    // Unreachable in practice: producers stop at send_depth_limit() (half
+    // the ring) and the delivery loop checks for room, so full here needs
+    // more simultaneous posters than capacity/2. Spin rather than lose a
+    // completion; some poller drains the ring in any such scenario.
+    while (!mpsc_cq_->try_push(cqe)) {
+    }
+    return;
+  }
+  cq_.push(std::move(cqe));
+}
+
+std::size_t sim_device_t::send_depth_limit() const {
+  const std::size_t depth = effective_send_depth();
+  if (!mpsc_cq_) return depth;
+  return std::min(depth, mpsc_cq_->capacity() / 2);
+}
+
 post_result_t sim_device_t::maybe_inject_fault() {
   const fault_config_t& fault = fabric_->config().fault;
   if (fault.retry_rate <= 0.0) return post_result_t::ok;
@@ -126,7 +161,7 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= effective_send_depth())
+  if (cq_size_approx() >= send_depth_limit())
     return post_result_t::retry_full;  // send queue full
   // Pinned until return: wire_push rings the target's doorbell after the
   // push, and the pin keeps the routed device (and doorbell) alive for it.
@@ -141,9 +176,13 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
   msg.ready_ns = fabric_->ready_time_ns(size);
   msg.set_payload(buffer, size);
   // Wire span: opened here so its id travels with the message; a rejected
-  // push ends it immediately (the retried post opens a fresh one).
+  // push ends it immediately (the retried post opens a fresh one). The tag
+  // slot carries the source device index — routing pairs it with the target
+  // rank's same-index device, so it doubles as the receive-side shard id for
+  // trace_summary.py's per-shard breakdown.
   const trace::span_t wire_span =
-      trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+      trace::begin(trace::kind_t::wire, peer_rank,
+                   static_cast<uint32_t>(index_), size);
   msg.trace_id = wire_span.id;
   if (!target->wire_push(std::move(msg))) {
     trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
@@ -152,7 +191,7 @@ post_result_t sim_device_t::post_send(int peer_rank, const void* buffer,
 
   // Local completion: the source buffer was copied onto the wire, so it is
   // immediately reusable (RDMA send semantics).
-  cq_.push(cqe_t{op_t::send, peer_rank, imm, size, nullptr, user_context});
+  push_cqe(cqe_t{op_t::send, peer_rank, imm, size, nullptr, user_context});
   fabric_->note_post(rank_);
   return post_result_t::ok;
 }
@@ -172,7 +211,7 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= effective_send_depth())
+  if (cq_size_approx() >= send_depth_limit())
     return post_result_t::retry_full;
 
   // Pinned until return: keeps the routed device (and its doorbell, rung by
@@ -194,14 +233,15 @@ post_result_t sim_device_t::post_write(int peer_rank, const void* local,
     msg.size = static_cast<uint32_t>(size);
     msg.ready_ns = fabric_->ready_time_ns(size);
     const trace::span_t wire_span =
-        trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+        trace::begin(trace::kind_t::wire, peer_rank,
+                     static_cast<uint32_t>(index_), size);
     msg.trace_id = wire_span.id;
     if (!target->wire_push(std::move(msg))) {
       trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
       return post_result_t::retry_full;
     }
   }
-  cq_.push(cqe_t{op_t::write, peer_rank, imm, size, nullptr, user_context});
+  push_cqe(cqe_t{op_t::write, peer_rank, imm, size, nullptr, user_context});
   // The write CQE carries a completion the owner must dispatch; a sleeping
   // progress engine on this very device would otherwise only notice it at
   // the bounded-sleep timeout.
@@ -225,7 +265,7 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
       fabric_->config().td_strategy == td_strategy_t::none) {
     uuar = std::unique_lock<util::spinlock_t>(fabric_->uuar_lock());
   }
-  if (cq_.size_approx() >= effective_send_depth())
+  if (cq_size_approx() >= send_depth_limit())
     return post_result_t::retry_full;
 
   // Pinned until return: keeps the routed device (and its doorbell, rung by
@@ -249,14 +289,15 @@ post_result_t sim_device_t::post_read(int peer_rank, void* local,
     msg.size = static_cast<uint32_t>(size);
     msg.ready_ns = fabric_->ready_time_ns(size);
     const trace::span_t wire_span =
-        trace::begin(trace::kind_t::wire, peer_rank, 0, size);
+        trace::begin(trace::kind_t::wire, peer_rank,
+                     static_cast<uint32_t>(index_), size);
     msg.trace_id = wire_span.id;
     if (!target->wire_push(std::move(msg))) {
       trace::end(wire_span, trace::kind_t::wire, wire_err_rejected, peer_rank);
       return post_result_t::retry_full;
     }
   }
-  cq_.push(cqe_t{op_t::read, peer_rank, imm, size, nullptr, user_context});
+  push_cqe(cqe_t{op_t::read, peer_rank, imm, size, nullptr, user_context});
   ring_doorbell();
   fabric_->note_post(rank_);
   return post_result_t::ok;
@@ -337,10 +378,10 @@ bool sim_device_t::deliver_one(wire_msg_t& msg, uint64_t& now_cache) {
     // (the LCI progress engine completes such receives with an error).
     std::memcpy(prepost.buffer, msg.data(),
                 std::min<std::size_t>(msg.size, prepost.size));
-    cq_.push(cqe_t{op_t::recv, msg.src_rank, msg.imm, msg.size, prepost.buffer,
-                   prepost.user_context});
+    push_cqe(cqe_t{op_t::recv, msg.src_rank, msg.imm, msg.size,
+                   prepost.buffer, prepost.user_context});
   } else {
-    cq_.push(
+    push_cqe(
         cqe_t{msg.kind, msg.src_rank, msg.imm, msg.size, nullptr, nullptr});
   }
   end_wire_span(msg.trace_id, 0, msg.src_rank, msg.size);
@@ -351,21 +392,30 @@ void sim_device_t::deliver_from_wire() {
   const std::size_t burst = fabric_->config().poll_burst;
   std::size_t delivered = 0;
   uint64_t now_cache = 0;  // lazily filled by the first timed message
+  // MPSC mode: deliveries stop while the bounded ring is near capacity so a
+  // delivery can never find it full (racing producers stay below
+  // send_depth_limit(), half the ring, so a one-burst margin suffices).
+  const auto cq_has_room = [this]() {
+    return !mpsc_cq_ ||
+           mpsc_cq_->size_approx() + 1 < mpsc_cq_->capacity();
+  };
   // Messages stalled earlier on receiver-not-ready go first (they are older).
-  while (!rnr_stash_.empty() && delivered < burst) {
+  while (!rnr_stash_.empty() && delivered < burst && cq_has_room()) {
     if (fabric_->is_dead(rnr_stash_.front().src_rank)) {
       // The sender died while this message waited: it evaporates.
       wire_dropped_.fetch_add(1, std::memory_order_relaxed);
       end_wire_span(rnr_stash_.front().trace_id, wire_err_dropped,
                     rnr_stash_.front().src_rank, rnr_stash_.front().size);
       rnr_stash_.pop_front();
+      rnr_depth_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     if (!deliver_one(rnr_stash_.front(), now_cache)) return;
     rnr_stash_.pop_front();
+    rnr_depth_.fetch_sub(1, std::memory_order_relaxed);
     ++delivered;
   }
-  while (delivered < burst) {
+  while (delivered < burst && cq_has_room()) {
     auto msg = wire_.try_pop();
     if (!msg) break;
     if (fabric_->is_dead(msg->src_rank)) {
@@ -375,6 +425,7 @@ void sim_device_t::deliver_from_wire() {
     }
     if (!deliver_one(*msg, now_cache)) {
       rnr_stash_.push_back(std::move(*msg));
+      rnr_depth_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     ++delivered;
@@ -382,6 +433,7 @@ void sim_device_t::deliver_from_wire() {
 }
 
 poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
+  if (mpsc_cq_) return poll_cq_mpsc(out, max);
   const bool ofi = fabric_->config().lock_model == lock_model_t::ofi;
   auto guard = ofi ? ep_lock_.guard() : cq_lock_.guard();
   if (!guard) return poll_result_t{0, true};
@@ -395,6 +447,7 @@ poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
       end_wire_span(stalled.trace_id, wire_err_dropped, stalled.src_rank,
                     stalled.size);
     rnr_stash_.clear();
+    rnr_depth_.store(0, std::memory_order_relaxed);
     while (cq_.try_pop()) {
     }
     return poll_result_t{0, false};
@@ -403,6 +456,47 @@ poll_result_t sim_device_t::poll_cq(cqe_t* out, std::size_t max) {
   std::size_t count = 0;
   while (count < max) {
     auto cqe = cq_.try_pop();
+    if (!cqe) break;
+    out[count++] = *cqe;
+  }
+  return poll_result_t{count, false};
+}
+
+// Single-consumer mode: no lock-model lock on the poll path at all. The CQ
+// is the bounded MPSC ring; the consumer role is claimed per poll with one
+// CAS, and an idle poll — nothing completed, nothing on the wire, nothing
+// stalled — returns after three relaxed loads without even the claim.
+poll_result_t sim_device_t::poll_cq_mpsc(cqe_t* out, std::size_t max) {
+  // Empty fast path (RMW-free). A push racing past these loads is caught by
+  // the next poll — exactly the eventual-visibility contract poll loops
+  // already live with. A dead rank with nothing queued needs no drain.
+  if (mpsc_cq_->empty_approx() &&
+      rnr_depth_.load(std::memory_order_relaxed) == 0 &&
+      wire_.empty_approx())
+    return poll_result_t{0, false};
+  auto claim = mpsc_cq_->try_claim_consumer();
+  // Another thread is consuming; it is making the progress this poll would
+  // have made. Not a lock miss: the lock-model locks were never touched.
+  if (!claim) return poll_result_t{0, false};
+  if (fabric_->is_dead(rank_)) {
+    // A dead rank observes nothing: everything queued at it evaporates.
+    while (auto msg = wire_.try_pop()) {
+      wire_dropped_.fetch_add(1, std::memory_order_relaxed);
+      end_wire_span(msg->trace_id, wire_err_dropped, msg->src_rank, msg->size);
+    }
+    for (const wire_msg_t& stalled : rnr_stash_)
+      end_wire_span(stalled.trace_id, wire_err_dropped, stalled.src_rank,
+                    stalled.size);
+    rnr_stash_.clear();
+    rnr_depth_.store(0, std::memory_order_relaxed);
+    while (mpsc_cq_->try_pop()) {
+    }
+    return poll_result_t{0, false};
+  }
+  deliver_from_wire();
+  std::size_t count = 0;
+  while (count < max) {
+    auto cqe = mpsc_cq_->try_pop();
     if (!cqe) break;
     out[count++] = *cqe;
   }

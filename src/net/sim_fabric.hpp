@@ -11,6 +11,7 @@
 #include "net/net.hpp"
 #include "util/lcrq.hpp"
 #include "util/mpmc_array.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
@@ -99,6 +100,11 @@ class sim_device_t final : public device_t {
   void set_doorbell(doorbell_t* doorbell) override {
     doorbell_.store(doorbell, std::memory_order_release);
   }
+  // Swaps the lock-model CQ lock for the bounded lock-free MPSC queue (see
+  // poll_cq). Setup-time only: the caller must enable it before any traffic
+  // flows on this device, and before any thread other than the constructing
+  // one touches it.
+  void set_single_consumer(bool enable) override;
 
   // Wire-side entry point used by peer devices ("the NIC DMA engine").
   bool wire_push(wire_msg_t msg);
@@ -124,6 +130,20 @@ class sim_device_t final : public device_t {
   // across a delivery burst: 0 = not read yet, filled on first timed message.
   bool deliver_one(wire_msg_t& msg, uint64_t& now_cache);
 
+  // CQ access shims: the MPSC queue when single-consumer mode is on, the
+  // legacy LCRQ otherwise.
+  void push_cqe(cqe_t cqe);
+  std::size_t cq_size_approx() const noexcept {
+    return mpsc_cq_ ? mpsc_cq_->size_approx() : cq_.size_approx();
+  }
+  // Send-side backpressure threshold. In MPSC mode the queue is bounded, so
+  // posts additionally stop at half the ring: each in-flight poster adds at
+  // most one element past its own threshold check, so the ring cannot
+  // overflow unless more than capacity/2 threads post simultaneously.
+  std::size_t send_depth_limit() const;
+  // Single-consumer poll path: claim, drain, release (see poll_cq).
+  poll_result_t poll_cq_mpsc(cqe_t* out, std::size_t max);
+
   // Rings the registered doorbell (if any): new work is observable on this
   // device. Called by peers from wire_push and locally after pushing
   // dispatch-worthy completions.
@@ -138,7 +158,14 @@ class sim_device_t final : public device_t {
 
   util::lcrq_t<wire_msg_t> wire_{1024};
   util::lcrq_t<cqe_t> cq_{1024};
-  std::deque<wire_msg_t> rnr_stash_;  // guarded by the polling lock
+  // Single-consumer mode (set_single_consumer): completions flow through
+  // this bounded lock-free MPSC ring instead of cq_, and poll_cq claims the
+  // consumer role per poll instead of taking the lock-model CQ lock.
+  std::unique_ptr<util::mpsc_queue_t<cqe_t>> mpsc_cq_;
+  std::deque<wire_msg_t> rnr_stash_;  // guarded by the polling lock / claim
+  // Mirror of rnr_stash_.size(), readable without the polling lock: the MPSC
+  // empty fast path must see stalled messages without claiming the consumer.
+  std::atomic<std::size_t> rnr_depth_{0};
   std::atomic<doorbell_t*> doorbell_{nullptr};
 
   // Fault-injection state: a deterministic per-device RNG stream (seeded

@@ -1,0 +1,251 @@
+// Torture tests for the lock-free receive path (docs/INTERNALS.md "Lock
+// layout"): the bounded MPSC completion queue — producers on every thread,
+// consumer rotation through the claim protocol, wraparound and full/empty
+// ring edges — and the shard-steered matching engine racing a dead-peer
+// purge with device_shards = 4. Runs in the tsan tier-1 leg: every test
+// here must stay race-free under concurrent producers, rotating consumers,
+// and a purge walking all bucket segments mid-traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/lci.hpp"
+#include "util/mpsc_queue.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring edges: wraparound, full, empty — deterministic, single-threaded.
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueue, WraparoundFullEmptyEdges) {
+  lci::util::mpsc_queue_t<int> q(3);  // rounds up to 4
+  ASSERT_EQ(q.capacity(), 4u);
+  auto guard = q.try_claim_consumer();
+  ASSERT_TRUE(static_cast<bool>(guard));
+  int next_push = 0;
+  int next_pop = 0;
+  // Five full fill/drain cycles walk the cursors well past one lap of the
+  // ring, so the sequence-cell wraparound arithmetic (pos + capacity) is
+  // exercised at both the full and the empty edge every cycle.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    EXPECT_TRUE(q.empty_approx());
+    EXPECT_FALSE(q.try_pop().has_value());  // empty edge
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(next_push++));
+    EXPECT_FALSE(q.try_push(-1));  // full edge: push refused, nothing lost
+    EXPECT_EQ(q.size_approx(), 4u);
+    // Partial drain then refill: head and tail wrap at different offsets.
+    for (int i = 0; i < 2; ++i) {
+      const std::optional<int> v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_pop++);
+    }
+    EXPECT_TRUE(q.try_push(next_push++));
+    EXPECT_TRUE(q.try_push(next_push++));
+    EXPECT_FALSE(q.try_push(-1));  // full again at a rotated position
+    for (int i = 0; i < 4; ++i) {
+      const std::optional<int> v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_pop++);  // FIFO held across the wrap
+    }
+  }
+  EXPECT_TRUE(q.empty_approx());
+}
+
+// ---------------------------------------------------------------------------
+// Claim protocol: exactly one live consumer, release hands over cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueue, ConsumerClaimIsExclusive) {
+  lci::util::mpsc_queue_t<int> q(8);
+  auto first = q.try_claim_consumer();
+  ASSERT_TRUE(static_cast<bool>(first));
+  EXPECT_FALSE(static_cast<bool>(q.try_claim_consumer()));  // held
+  // Moving the guard moves the claim, it does not release it.
+  auto moved = std::move(first);
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(q.try_claim_consumer()));
+  moved.release();
+  auto second = q.try_claim_consumer();  // free again after release
+  EXPECT_TRUE(static_cast<bool>(second));
+}
+
+// ---------------------------------------------------------------------------
+// MPSC torture: producers on every thread, consumers rotating the claim.
+// ---------------------------------------------------------------------------
+
+// Four producers hammer a deliberately tiny ring (capacity 64, so the full
+// edge and wraparound fire constantly) while three consumer threads rotate
+// the claim, each popping a small batch per tenure. Checked invariants:
+//  * exactly-once delivery — every pushed value is popped exactly once;
+//  * per-producer FIFO — values from one producer arrive in push order
+//    (the ring is MPSC: producers interleave, but never reorder
+//    themselves);
+//  * single consumership — the claim admits one popper at a time, and the
+//    release/acquire handoff publishes the previous tenure's cursor so the
+//    per-producer sequence log needs no locking of its own (TSan verifies
+//    exactly that happens-before edge).
+TEST(MpscQueue, ProducersEverywhereConsumerRotation) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr long kPerProducer = 20000;
+  constexpr long kTotal = kProducers * kPerProducer;
+
+  lci::util::mpsc_queue_t<uint64_t> q(64);
+  std::atomic<long> popped{0};
+  std::atomic<int> live_consumers{0};
+  std::atomic<bool> overlap{false};
+  std::atomic<bool> misorder{false};
+  // Guarded by the consumer claim (not a lock): only the claim holder
+  // touches it, and the claim handoff publishes it to the next holder.
+  long last_seq[kProducers];
+  for (long& s : last_seq) s = -1;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        const uint64_t value =
+            (static_cast<uint64_t>(static_cast<unsigned>(p)) << 32) |
+            static_cast<uint64_t>(i);
+        while (!q.try_push(value)) std::this_thread::yield();  // ring full
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (popped.load(std::memory_order_relaxed) < kTotal) {
+        auto guard = q.try_claim_consumer();
+        if (!guard) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (live_consumers.fetch_add(1, std::memory_order_relaxed) != 0)
+          overlap.store(true, std::memory_order_relaxed);
+        // Short tenure: pop a batch, then release so the claim genuinely
+        // rotates between the consumer threads.
+        for (int batch = 0; batch < 32; ++batch) {
+          const std::optional<uint64_t> v = q.try_pop();
+          if (!v.has_value()) break;
+          const int producer = static_cast<int>(*v >> 32);
+          const long seq = static_cast<long>(*v & 0xffffffffu);
+          if (seq != last_seq[producer] + 1)
+            misorder.store(true, std::memory_order_relaxed);
+          last_seq[producer] = seq;
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+        live_consumers.fetch_sub(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_FALSE(overlap.load()) << "two consumers held the claim at once";
+  EXPECT_FALSE(misorder.load()) << "per-producer FIFO violated";
+  for (int p = 0; p < kProducers; ++p)
+    EXPECT_EQ(last_seq[p], kPerProducer - 1);
+  EXPECT_TRUE(q.empty_approx());
+}
+
+// ---------------------------------------------------------------------------
+// Purge racing steered inserts at device_shards = 4.
+// ---------------------------------------------------------------------------
+
+// Four posters, each pinned to its own shard, stream receives naming rank 1
+// into the segmented matching engine — rank_tag keys steer to per-shard
+// segments, every eighth post uses rank_only (a wildcard key) and lands in
+// the shared global segment. Mid-stream, poster 0 kills the peer: the purge
+// walks every bucket of every segment while the other three posters are
+// still inserting. The accounting invariant is exact: every post either
+// fails inline with fatal_peer_down (posted after the death was visible) or
+// is queued and must surface exactly once through the CQ as
+// fatal_peer_down — the insert-vs-purge race in post_receive re-removes
+// entries that landed behind the sweep, so nothing is ever orphaned or
+// completed twice.
+TEST(MpscCq, PurgeWhileSteeredShards4) {
+  constexpr int kPosters = 4;
+  constexpr long kPostsPerThread = 256;
+  std::atomic<int> finished{0};
+  lci::sim::spawn(2, [&](int rank) {
+    lci::runtime_attr_t attr;
+    attr.device_shards = 4;
+    attr.matching_engine_buckets = 256;
+    lci::g_runtime_init(attr);
+    if (rank == 0) {
+      lci::comp_t cq = lci::alloc_cq();
+      std::atomic<long> queued{0};
+      std::atomic<long> inline_fatal{0};
+      // One buffer per post, alive until the completion drain below.
+      std::vector<std::vector<char>> bufs(
+          static_cast<std::size_t>(kPosters),
+          std::vector<char>(static_cast<std::size_t>(kPostsPerThread) * 8));
+      auto binding = lci::sim::current_binding();
+      auto poster = [&](int t) {
+        lci::sim::scoped_binding_t bound(binding);
+        lci::pin_thread_shard(t);
+        for (long i = 0; i < kPostsPerThread; ++i) {
+          if (t == 0 && i == kPostsPerThread / 2) {
+            EXPECT_TRUE(lci::kill_peer(1));
+          }
+          char* buf = bufs[static_cast<std::size_t>(t)].data() + i * 8;
+          const lci::matching_policy_t policy =
+              (i % 8 == 7) ? lci::matching_policy_t::rank_only
+                           : lci::matching_policy_t::rank_tag;
+          const lci::status_t st =
+              lci::post_recv_x(1, buf, 8,
+                               static_cast<lci::tag_t>(i & 0xffff), cq)
+                  .matching_policy(policy)
+                  .allow_done(false)();
+          if (st.error.is_posted()) {
+            queued.fetch_add(1, std::memory_order_relaxed);
+          } else if (st.error.is_fatal()) {
+            EXPECT_EQ(st.error.code, lci::errorcode_t::fatal_peer_down);
+            inline_fatal.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            --i;  // retry: try the same post again
+            lci::progress();
+          }
+        }
+        lci::pin_thread_shard(-1);
+      };
+      std::vector<std::thread> posters;
+      for (int t = 1; t < kPosters; ++t) posters.emplace_back(poster, t);
+      poster(0);
+      for (auto& t : posters) t.join();
+      EXPECT_EQ(queued.load() + inline_fatal.load(),
+                static_cast<long>(kPosters) * kPostsPerThread);
+      EXPECT_GT(queued.load(), 0);        // some posts beat the kill
+      EXPECT_GT(inline_fatal.load(), 0);  // some posts saw the dead peer
+      // Every queued receive owes exactly one fatal completion.
+      long fatal = 0;
+      while (fatal < queued.load()) {
+        lci::progress();
+        const lci::status_t st = lci::cq_pop(cq);
+        if (st.error.is_retry()) continue;
+        ASSERT_EQ(st.error.code, lci::errorcode_t::fatal_peer_down);
+        EXPECT_EQ(st.rank, 1);
+        ++fatal;
+      }
+      // Owed-pop audit: never one completion more than was queued.
+      for (int i = 0; i < 50; ++i) {
+        lci::progress();
+        EXPECT_TRUE(lci::cq_pop(cq).error.is_retry());
+      }
+      lci::free_comp(&cq);
+    }
+    finished.fetch_add(1, std::memory_order_release);
+    while (finished.load(std::memory_order_acquire) < 2) {
+      lci::progress();
+      std::this_thread::yield();
+    }
+    lci::g_runtime_fina();
+  });
+}
+
+}  // namespace

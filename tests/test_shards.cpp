@@ -382,4 +382,51 @@ TEST(Shards, DrainFlushesEveryShard) {
   });
 }
 
+// The hashed routing fallback memoizes its last (rank, tag) -> shard answer
+// per thread: an unpinned sender streaming one key hits the cache on every
+// post after the first, and the hits surface in route_cache_hits. A pinned
+// thread never hashes, so the same traffic counts nothing.
+TEST(Shards, RouteCacheCountsHashedFallbackHits) {
+  lci::sim::spawn(2, [](int rank) {
+    lci::g_runtime_init(sharded_attr(4));
+    constexpr int messages = 16;
+    if (rank == 0) {
+      lci::comp_t cq = lci::alloc_cq();
+      char buf[8] = "payload";
+      const lci::counters_t before = lci::get_counters();
+      for (int i = 0; i < messages; ++i) {
+        lci::status_t ss;
+        do {
+          ss = lci::post_send_x(1, buf, sizeof(buf), /*tag=*/7, cq)
+                   .allow_done(false)();
+          if (ss.error.is_retry()) lci::progress();
+        } while (ss.error.is_retry());
+        ASSERT_TRUE(ss.error.is_posted());
+      }
+      int done = 0;
+      while (done < messages) {
+        lci::progress();
+        if (lci::cq_pop(cq).error.is_done()) ++done;
+      }
+      const lci::counters_t after = lci::get_counters();
+      // Same key every time: at most the first post (and stray internal
+      // routes) miss; the stream must be nearly all hits.
+      EXPECT_GE(after.route_cache_hits - before.route_cache_hits,
+                static_cast<uint64_t>(messages - 2));
+      lci::free_comp(&cq);
+    } else {
+      lci::comp_t rsync = lci::alloc_sync(messages);
+      std::vector<std::array<char, 8>> inbox(messages);
+      for (int i = 0; i < messages; ++i)
+        (void)lci::post_recv_x(0, inbox[static_cast<std::size_t>(i)].data(),
+                               8, /*tag=*/7, rsync)
+            .allow_done(false)();
+      lci::sync_wait(rsync, nullptr);
+      lci::free_comp(&rsync);
+    }
+    lci::barrier();
+    lci::g_runtime_fina();
+  });
+}
+
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/lci.hpp"
@@ -264,9 +265,20 @@ TEST(Trace, FatalTimeoutAndCancelEndSpans) {
 // death sweep ends its span with fatal_peer_down.
 TEST(Trace, PeerDownEndsSpans) {
   static std::atomic<bool> rank0_done{false};
+  static std::atomic<int> inited{0};
   rank0_done.store(false);
+  inited.store(0);
   lci::sim::spawn(2, [](int rank) {
     lci::g_runtime_init(traced_attr());
+    // Both runtimes must be up before rank 0 proceeds: if rank 0 ran its
+    // whole body and finalized before rank 1 initialized, the trace
+    // refcount would hit zero and rank 1's init would start a fresh trace
+    // generation, retiring rank 0's events from the snapshot below. A
+    // plain flag, not barrier(): rank 1 could still be inside a collective
+    // when kill_peer(1) fires, failing the barrier fatally.
+    inited.fetch_add(1, std::memory_order_release);
+    while (inited.load(std::memory_order_acquire) < 2)
+      std::this_thread::yield();
     if (rank == 0) {
       lci::comp_t cq = lci::alloc_cq();
       char in[32] = {};
